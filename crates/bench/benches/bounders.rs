@@ -1,0 +1,56 @@
+//! Criterion micro-benchmarks for the error bounders: per-value streaming
+//! update cost and per-round confidence-interval computation cost.
+//!
+//! These support the paper's observation (§5.4.1) that "all error bounders
+//! incur additional overhead", with the Bernstein-based bounders costing the
+//! most per CI recomputation — the reason FastFrame recomputes intervals only
+//! once per OptStop round rather than per tuple.
+//!
+//! Run with `cargo bench -p fastframe-bench --bench bounders`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use fastframe_core::bounder::{BoundContext, BounderKind};
+use fastframe_workloads::synthetic::SyntheticDistribution;
+
+fn bench_update_state(c: &mut Criterion) {
+    let values = SyntheticDistribution::HeavyTail.generate(100_000, 42);
+    let mut group = c.benchmark_group("update_state");
+    group.throughput(Throughput::Elements(values.len() as u64));
+    group.sample_size(20);
+    for kind in BounderKind::EVALUATED {
+        group.bench_with_input(BenchmarkId::from_parameter(kind.label()), &kind, |b, &kind| {
+            b.iter(|| {
+                let mut est = kind.make_estimator();
+                for &v in &values {
+                    est.observe(black_box(v));
+                }
+                black_box(est.count())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_interval(c: &mut Criterion) {
+    let values = SyntheticDistribution::HeavyTail.generate(100_000, 7);
+    let (a, b) = SyntheticDistribution::HeavyTail.support();
+    let ctx = BoundContext::new(a, b, 10_000_000, 1e-15).expect("valid context");
+    let mut group = c.benchmark_group("interval");
+    group.sample_size(20);
+    for kind in BounderKind::ALL {
+        // Pre-populate an estimator once; measure only the CI computation.
+        let mut est = kind.make_estimator();
+        for &v in &values {
+            est.observe(v);
+        }
+        group.bench_with_input(BenchmarkId::from_parameter(kind.label()), &kind, |bench, _| {
+            bench.iter(|| black_box(est.interval(black_box(&ctx))));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_update_state, bench_interval);
+criterion_main!(benches);

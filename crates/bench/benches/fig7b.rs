@@ -1,0 +1,79 @@
+//! Reproduction of **Figure 7(b)**: data read (blocks fetched) for F-q2 as a
+//! function of the HAVING threshold, with the per-airline exact aggregates
+//! printed alongside (the horizontal bars of the original figure).
+//!
+//! Thresholds close to an airline's true mean force many more samples before
+//! stopping condition Í (threshold side determined) can fire; Bernstein-based
+//! bounders are far more robust to near-threshold groups than Hoeffding-based
+//! ones.
+//!
+//! Run with `cargo bench -p fastframe-bench --bench fig7b`.
+
+use fastframe_bench::{
+    assert_same_selection, build_flights_frame, print_header, print_row, run_approx, run_exact,
+};
+use fastframe_core::bounder::BounderKind;
+use fastframe_engine::config::SamplingStrategy;
+use fastframe_workloads::queries::f_q2;
+
+fn main() {
+    let (_dataset, frame) = build_flights_frame();
+
+    // Exact per-airline aggregates (the bar chart on the right of the
+    // figure).
+    let exact_all = run_exact(&frame, &f_q2(f64::NEG_INFINITY).query);
+    println!("# Figure 7(b) — blocks fetched vs. HAVING threshold (F-q2)");
+    println!();
+    println!("## Exact per-airline AVG(DepDelay) (horizontal bars of the figure)");
+    println!();
+    print_header(&["airline", "avg delay (min)"]);
+    let mut groups: Vec<_> = exact_all.result.groups.iter().collect();
+    groups.sort_by(|a, b| {
+        a.estimate
+            .unwrap_or(f64::MAX)
+            .partial_cmp(&b.estimate.unwrap_or(f64::MAX))
+            .expect("estimates are not NaN")
+    });
+    for g in &groups {
+        print_row(&[
+            g.key.display(),
+            format!("{:.3}", g.estimate.unwrap_or(f64::NAN)),
+        ]);
+    }
+    println!();
+
+    println!("## Blocks fetched per HAVING threshold");
+    println!();
+    print_header(&[
+        "threshold",
+        "Hoeffding",
+        "Hoeffding+RT",
+        "Bernstein",
+        "Bernstein+RT",
+    ]);
+
+    let max_threshold = groups
+        .iter()
+        .filter_map(|g| g.estimate)
+        .fold(f64::NEG_INFINITY, f64::max)
+        .ceil() as i64
+        + 2;
+    for threshold in (0..=max_threshold).step_by(1) {
+        let template = f_q2(threshold as f64);
+        let exact = run_exact(&frame, &template.query);
+        let mut cells = vec![threshold.to_string()];
+        for bounder in BounderKind::EVALUATED {
+            let m = run_approx(&frame, &template.query, bounder, SamplingStrategy::ActivePeek);
+            assert_same_selection(&template.query.name, &m, &exact);
+            cells.push(m.blocks_fetched.to_string());
+        }
+        print_row(&cells);
+    }
+
+    println!();
+    println!(
+        "Expected shape (paper §5.4.3): thresholds far below every airline mean are cheap for \
+         all bounders; each time the threshold approaches one of the airline aggregates listed \
+         above, blocks fetched spikes — much more sharply for the Hoeffding-based bounders."
+    );
+}

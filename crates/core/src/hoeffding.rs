@@ -1,0 +1,240 @@
+//! The Hoeffding–Serfling error bounder (Algorithm 1).
+//!
+//! The Hoeffding–Serfling inequality (Serfling 1974) bounds the deviation of
+//! the running mean of a *without-replacement* sample from the population
+//! mean, in terms of only the data range `(b − a)`, the sample size `m`, the
+//! population size `N` and the error probability `δ`:
+//!
+//! ```text
+//! ε = (b − a) · sqrt( log(1/δ) / (2m) · (1 − (m−1)/N) )
+//! ```
+//!
+//! The resulting CI `[ĝ − ε, ĝ + ε]` is asymptotically optimal for worst-case
+//! two-point data (half the mass at `a`, half at `b`) but is needlessly wide
+//! for real data whose variance is much smaller than the range allows — this
+//! bounder exhibits both **PMA** (its width ignores the observed values
+//! entirely) and **PHOS** (both endpoints depend on both `a` and `b`), see
+//! §2.3.3 and Table 2.
+
+use crate::bounder::{BoundContext, ErrorBounder};
+
+/// Streaming state for [`HoeffdingSerfling`]: the sample size and running
+/// mean (O(1) memory).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct HoeffdingState {
+    /// Number of samples folded in (`m`).
+    pub m: u64,
+    /// Running mean (`ĝ`).
+    pub mean: f64,
+}
+
+/// The Hoeffding–Serfling error bounder (Algorithm 1 in the paper).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HoeffdingSerfling;
+
+impl HoeffdingSerfling {
+    /// Creates the bounder.
+    pub fn new() -> Self {
+        Self
+    }
+
+    /// The half-width `ε` of the Hoeffding–Serfling confidence interval for a
+    /// sample of `m` out of `n` values in a range of width `range`, at error
+    /// probability `delta`.
+    ///
+    /// Exposed publicly because the COUNT machinery (Lemma 5 / Theorem 3)
+    /// reuses exactly this expression with `range = 1` for selectivities.
+    pub fn epsilon(m: u64, n: u64, range: f64, delta: f64) -> f64 {
+        if m == 0 {
+            return f64::INFINITY;
+        }
+        // The sample cannot be larger than the population; if the caller's N
+        // is an underestimate, clamp so the sampling-fraction term stays
+        // non-negative (a larger N only loosens the bound, preserving
+        // validity per the dataset-size monotonicity property).
+        let n = n.max(m) as f64;
+        let m_f = m as f64;
+        let sampling_fraction = (1.0 - (m_f - 1.0) / n).max(0.0);
+        range * ((1.0 / delta).ln() / (2.0 * m_f) * sampling_fraction).sqrt()
+    }
+}
+
+impl ErrorBounder for HoeffdingSerfling {
+    type State = HoeffdingState;
+
+    fn init_state(&self) -> Self::State {
+        HoeffdingState::default()
+    }
+
+    #[inline]
+    fn update_state(&self, state: &mut Self::State, v: f64) {
+        state.m += 1;
+        state.mean += (v - state.mean) / state.m as f64;
+    }
+
+    fn lbound(&self, state: &Self::State, ctx: &BoundContext) -> f64 {
+        if state.m == 0 {
+            return ctx.a;
+        }
+        let eps = Self::epsilon(state.m, ctx.n, ctx.range_width(), ctx.delta);
+        (state.mean - eps).max(ctx.a)
+    }
+
+    fn rbound(&self, state: &Self::State, ctx: &BoundContext) -> f64 {
+        if state.m == 0 {
+            return ctx.b;
+        }
+        // Algorithm 1 implements Rbound by reflecting the state through
+        // (a + b) and reusing Lbound; since the Hoeffding-Serfling half-width
+        // is symmetric this is equivalent to mean + ε.
+        let eps = Self::epsilon(state.m, ctx.n, ctx.range_width(), ctx.delta);
+        (state.mean + eps).min(ctx.b)
+    }
+
+    fn observed(&self, state: &Self::State) -> u64 {
+        state.m
+    }
+
+    fn estimate(&self, state: &Self::State) -> Option<f64> {
+        (state.m > 0).then_some(state.mean)
+    }
+
+    fn name(&self) -> &'static str {
+        "hoeffding-serfling"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bounder::BoundContext;
+
+    fn ctx(n: u64, delta: f64) -> BoundContext {
+        BoundContext::new(0.0, 1.0, n, delta).unwrap()
+    }
+
+    fn feed(bounder: &HoeffdingSerfling, values: &[f64]) -> HoeffdingState {
+        let mut st = bounder.init_state();
+        for &v in values {
+            bounder.update_state(&mut st, v);
+        }
+        st
+    }
+
+    #[test]
+    fn empty_state_returns_range_bounds() {
+        let b = HoeffdingSerfling::new();
+        let st = b.init_state();
+        let c = ctx(100, 0.05);
+        assert_eq!(b.lbound(&st, &c), 0.0);
+        assert_eq!(b.rbound(&st, &c), 1.0);
+        assert!(b.estimate(&st).is_none());
+    }
+
+    #[test]
+    fn running_mean_is_exact() {
+        let b = HoeffdingSerfling::new();
+        let st = feed(&b, &[0.1, 0.2, 0.3, 0.4]);
+        assert_eq!(b.observed(&st), 4);
+        assert!((b.estimate(&st).unwrap() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn epsilon_matches_closed_form() {
+        // m = 100, N = 10_000, range = 1, delta = 0.05
+        let eps = HoeffdingSerfling::epsilon(100, 10_000, 1.0, 0.05);
+        let expected = ((1.0f64 / 0.05).ln() / 200.0 * (1.0 - 99.0 / 10_000.0)).sqrt();
+        assert!((eps - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn interval_shrinks_with_more_samples() {
+        let b = HoeffdingSerfling::new();
+        let c = ctx(1_000_000, 1e-6);
+        let small = feed(&b, &vec![0.5; 100]);
+        let large = feed(&b, &vec![0.5; 10_000]);
+        let w_small = b.interval(&small, &c).width();
+        let w_large = b.interval(&large, &c).width();
+        assert!(w_large < w_small);
+    }
+
+    #[test]
+    fn interval_shrinks_with_larger_delta() {
+        let b = HoeffdingSerfling::new();
+        let st = feed(&b, &vec![0.5; 1000]);
+        let tight = b.interval(&st, &ctx(1_000_000, 0.1)).width();
+        let loose = b.interval(&st, &ctx(1_000_000, 1e-12)).width();
+        assert!(tight < loose);
+    }
+
+    #[test]
+    fn sampling_fraction_tightens_bound() {
+        // Same sample size, smaller population → tighter interval
+        // (without-replacement benefit).
+        let b = HoeffdingSerfling::new();
+        let st = feed(&b, &vec![0.5; 500]);
+        let near_exhaustive = b.interval(&st, &ctx(600, 1e-6)).width();
+        let tiny_fraction = b.interval(&st, &ctx(10_000_000, 1e-6)).width();
+        assert!(near_exhaustive < tiny_fraction);
+    }
+
+    #[test]
+    fn dataset_size_monotonicity() {
+        // Using an upper bound for N must only loosen the bounds (§3.3).
+        let b = HoeffdingSerfling::new();
+        let st = feed(&b, &vec![0.3; 200]);
+        let c_small = ctx(1_000, 1e-9);
+        let c_large = ctx(100_000, 1e-9);
+        assert!(b.lbound(&st, &c_large) <= b.lbound(&st, &c_small));
+        assert!(b.rbound(&st, &c_large) >= b.rbound(&st, &c_small));
+    }
+
+    #[test]
+    fn exhaustive_sample_has_near_zero_width() {
+        // When m == N the sampling fraction term (1 - (m-1)/N) = 1/N → width
+        // shrinks towards 0 as N grows.
+        let b = HoeffdingSerfling::new();
+        let values: Vec<f64> = (0..10_000).map(|i| (i % 2) as f64).collect();
+        let st = feed(&b, &values);
+        let c = ctx(10_000, 1e-9);
+        let ci = b.interval(&st, &c);
+        assert!(ci.width() < 0.05, "width = {}", ci.width());
+        assert!(ci.contains(0.5));
+    }
+
+    #[test]
+    fn width_depends_only_on_range_and_count_not_values() {
+        // This is precisely PMA: two samples with the same count but very
+        // different value layouts get intervals of identical width (as long
+        // as no clamping at the range boundary kicks in). The pathology
+        // module turns this observation into a reusable probe.
+        let b = HoeffdingSerfling::new();
+        let c = ctx(100_000, 1e-6);
+        let st_mid = feed(&b, &vec![0.35; 1000]);
+        let st_other = feed(&b, &vec![0.65; 1000]);
+        let w_mid = b.interval(&st_mid, &c).width();
+        let w_other = b.interval(&st_other, &c).width();
+        assert!((w_mid - w_other).abs() < 1e-12, "{w_mid} vs {w_other}");
+    }
+
+    #[test]
+    fn bounds_are_clamped_to_range() {
+        let b = HoeffdingSerfling::new();
+        let st = feed(&b, &[0.5]);
+        let c = ctx(1_000_000, 1e-15);
+        let ci = b.interval(&st, &c);
+        assert!(ci.lo >= 0.0);
+        assert!(ci.hi <= 1.0);
+    }
+
+    #[test]
+    fn m_larger_than_claimed_n_does_not_panic() {
+        let b = HoeffdingSerfling::new();
+        let st = feed(&b, &vec![0.5; 50]);
+        // Caller claims N = 10 < m = 50; epsilon clamps N to m.
+        let c = ctx(10, 1e-6);
+        let ci = b.interval(&st, &c);
+        assert!(ci.lo.is_finite() && ci.hi.is_finite());
+        assert!(ci.lo <= 0.5 && ci.hi >= 0.5);
+    }
+}

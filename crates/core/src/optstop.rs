@@ -1,0 +1,200 @@
+//! The OptStop optional-stopping meta-algorithm (Algorithm 5).
+//!
+//! Fixing a sample size up front is usually impractical: how many samples are
+//! needed depends on the (unknown) data distribution and on how tight the
+//! bounds must be for the query's stopping condition. OptStop instead takes
+//! samples in rounds of `B` and recomputes the confidence interval after each
+//! round with a *decayed* error probability `δ_k = (6/π²)·δ/k²`; by the union
+//! bound and `Σ 1/k² = π²/6`, the probability that **any** round's interval
+//! misses the true aggregate is at most δ (Theorem 4). Consequently the
+//! intersection of all rounds' intervals — the *running interval* — is itself
+//! a valid `(1 − δ)` interval at every point in time, and the query may stop
+//! the moment its stopping condition is met.
+//!
+//! This module provides the δ schedule ([`OptStopSchedule`]) and the running
+//! interval accumulator ([`RunningInterval`]); the engine drives the actual
+//! sampling loop.
+
+use crate::bounder::Ci;
+use crate::delta::DeltaBudget;
+use crate::error::CoreResult;
+
+/// The default number of samples per OptStop round used by the paper's
+/// experiments (§4.2: "we set B = 40000").
+pub const DEFAULT_ROUND_SIZE: u64 = 40_000;
+
+/// The δ-decay schedule of Algorithm 5.
+#[derive(Debug, Clone, Copy)]
+pub struct OptStopSchedule {
+    budget: DeltaBudget,
+    round: usize,
+}
+
+impl OptStopSchedule {
+    /// Creates a schedule with total error budget `delta`.
+    pub fn new(delta: f64) -> CoreResult<Self> {
+        Ok(Self {
+            budget: DeltaBudget::new(delta)?,
+            round: 0,
+        })
+    }
+
+    /// Creates a schedule from an existing budget.
+    pub fn from_budget(budget: DeltaBudget) -> Self {
+        Self { budget, round: 0 }
+    }
+
+    /// Advances to the next round and returns its error probability
+    /// `δ_k = (6/π²)·δ/k²`.
+    pub fn next_round_delta(&mut self) -> f64 {
+        self.round += 1;
+        self.budget.optstop_round(self.round)
+    }
+
+    /// The error probability of the current round without advancing (returns
+    /// the round-1 value before the first call to `next_round_delta`).
+    pub fn current_round_delta(&self) -> f64 {
+        self.budget.optstop_round(self.round.max(1))
+    }
+
+    /// Number of rounds started so far.
+    pub fn rounds_started(&self) -> usize {
+        self.round
+    }
+
+    /// Total error budget across all rounds.
+    pub fn total_delta(&self) -> f64 {
+        self.budget.total()
+    }
+}
+
+/// Running intersection of per-round confidence intervals
+/// (`[max_k L_k, min_k R_k]`, Algorithm 5 line 14).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunningInterval {
+    current: Option<Ci>,
+    rounds: usize,
+}
+
+impl Default for RunningInterval {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RunningInterval {
+    /// Creates an empty running interval (no rounds observed).
+    pub fn new() -> Self {
+        Self {
+            current: None,
+            rounds: 0,
+        }
+    }
+
+    /// Folds in the interval computed at the end of a round.
+    pub fn update(&mut self, round_ci: Ci) -> Ci {
+        let next = match self.current {
+            None => round_ci,
+            Some(prev) => prev.intersect(&round_ci),
+        };
+        self.current = Some(next);
+        self.rounds += 1;
+        next
+    }
+
+    /// The current running interval, if any round has completed.
+    pub fn current(&self) -> Option<Ci> {
+        self.current
+    }
+
+    /// Number of rounds folded in.
+    pub fn rounds(&self) -> usize {
+        self.rounds
+    }
+
+    /// Resets to the empty state.
+    pub fn reset(&mut self) {
+        *self = Self::new();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_decays_quadratically() {
+        let mut s = OptStopSchedule::new(0.1).unwrap();
+        let d1 = s.next_round_delta();
+        let d2 = s.next_round_delta();
+        let d3 = s.next_round_delta();
+        assert!((d1 / d2 - 4.0).abs() < 1e-12);
+        assert!((d1 / d3 - 9.0).abs() < 1e-12);
+        assert_eq!(s.rounds_started(), 3);
+        assert_eq!(s.total_delta(), 0.1);
+    }
+
+    #[test]
+    fn schedule_budget_never_exceeds_total() {
+        let mut s = OptStopSchedule::new(1e-3).unwrap();
+        let spent: f64 = (0..10_000).map(|_| s.next_round_delta()).sum();
+        assert!(spent < 1e-3);
+    }
+
+    #[test]
+    fn current_round_delta_matches_last_issued() {
+        let mut s = OptStopSchedule::new(0.05).unwrap();
+        // Before any round, reports the round-1 value.
+        let first = s.current_round_delta();
+        assert_eq!(first, s.next_round_delta());
+        let second = s.next_round_delta();
+        assert_eq!(s.current_round_delta(), second);
+    }
+
+    #[test]
+    fn schedule_rejects_bad_delta() {
+        assert!(OptStopSchedule::new(0.0).is_err());
+        assert!(OptStopSchedule::new(2.0).is_err());
+    }
+
+    #[test]
+    fn running_interval_is_monotonically_shrinking() {
+        let mut r = RunningInterval::new();
+        assert!(r.current().is_none());
+        let first = r.update(Ci::new(0.0, 10.0));
+        assert_eq!(first, Ci::new(0.0, 10.0));
+        let second = r.update(Ci::new(2.0, 12.0));
+        assert_eq!(second, Ci::new(2.0, 10.0));
+        let third = r.update(Ci::new(1.0, 9.0));
+        assert_eq!(third, Ci::new(2.0, 9.0));
+        assert_eq!(r.rounds(), 3);
+        // Widths never increase.
+        assert!(third.width() <= second.width());
+        assert!(second.width() <= first.width());
+    }
+
+    #[test]
+    fn running_interval_handles_disjoint_rounds() {
+        // Disjoint rounds only occur on the δ-probability failure event; the
+        // accumulator collapses rather than producing an inverted interval.
+        let mut r = RunningInterval::new();
+        r.update(Ci::new(0.0, 1.0));
+        let collapsed = r.update(Ci::new(5.0, 6.0));
+        assert!(collapsed.width() == 0.0);
+        assert!(collapsed.lo <= collapsed.hi);
+    }
+
+    #[test]
+    fn running_interval_reset() {
+        let mut r = RunningInterval::new();
+        r.update(Ci::new(0.0, 1.0));
+        r.reset();
+        assert!(r.current().is_none());
+        assert_eq!(r.rounds(), 0);
+    }
+
+    #[test]
+    fn default_round_size_matches_paper() {
+        assert_eq!(DEFAULT_ROUND_SIZE, 40_000);
+    }
+}

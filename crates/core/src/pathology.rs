@@ -1,0 +1,336 @@
+//! Pathology classification and witnesses for §2.3 — **pessimistic mass
+//! allocation (PMA)** and **phantom outlier sensitivity (PHOS)** — used to
+//! regenerate Table 2.
+//!
+//! * *PMA* (Definition 2): a bounder has PMA if the smallest (largest)
+//!   elements of a sample can be replaced with larger (smaller) values without
+//!   shrinking the returned interval width — the bounder ignores where the
+//!   observed mass actually sits.
+//! * *PHOS* (Definition 3): a bounder has PHOS if its confidence *lower*
+//!   bound depends on the upper range bound `b` (or its upper bound depends on
+//!   `a`) — unobserved potential outliers loosen the wrong side of the
+//!   interval.
+//!
+//! Table 2's PMA column is an *analytic* classification (§2.3.3):
+//! Hoeffding-style bounders have PMA because their width is a function of
+//! `(b − a, m, N, δ)` only; Anderson/DKW has PMA because the `ε` band mass is
+//! always re-allocated to the range endpoint regardless of what was observed;
+//! Bernstein-style bounders do not, because moving observed values toward the
+//! mean shrinks `σ̂` and hence the width. [`has_pma`]/[`has_phos`] encode that
+//! classification, while [`pma_witness`] and [`phos_witness`] *demonstrate*
+//! each pathology empirically with concrete sample pairs whenever it is
+//! present — these witnesses are what the Table 2 reproduction harness
+//! prints, and the unit tests assert that witness presence agrees with the
+//! analytic classification.
+
+use crate::bounder::{BoundContext, BounderKind};
+
+/// One row of Table 2 (extended with the RangeTrim configurations).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PathologyReport {
+    /// Which bounder configuration was probed.
+    pub kind: BounderKind,
+    /// Whether the bounder exhibits pessimistic mass allocation.
+    pub pma: bool,
+    /// Whether the bounder exhibits phantom outlier sensitivity.
+    pub phos: bool,
+    /// Whether the bounder's state is O(1) (false for Anderson/DKW, which
+    /// retains the sample).
+    pub constant_memory: bool,
+    /// Concrete PMA witness (pair of interval widths that should differ but
+    /// do not), when the pathology is present.
+    pub pma_witness: Option<PmaWitness>,
+    /// Concrete PHOS witness (lower bounds under two different `b` values, or
+    /// upper bounds under two different `a` values), when present.
+    pub phos_witness: Option<PhosWitness>,
+}
+
+/// Demonstration of PMA: two samples whose observed mass differs in a way
+/// that *should* change the interval width, yet the widths are (nearly)
+/// identical.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PmaWitness {
+    /// Interval width for the original sample.
+    pub width_original: f64,
+    /// Interval width after the definition's `max(x, a′)` replacement.
+    pub width_raised: f64,
+}
+
+/// Demonstration of PHOS: the same sample and a range bound change on the
+/// *unobserved* side moves a bound that should not care.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PhosWitness {
+    /// Confidence lower bound with the baseline `b`.
+    pub lbound_base: f64,
+    /// Confidence lower bound after widening `b` (data unchanged).
+    pub lbound_wider_b: f64,
+}
+
+fn width_for(kind: BounderKind, values: &[f64], ctx: &BoundContext) -> f64 {
+    let mut est = kind.make_estimator();
+    for &v in values {
+        est.observe(v);
+    }
+    est.interval(ctx).width()
+}
+
+fn lbound_for(kind: BounderKind, values: &[f64], ctx: &BoundContext) -> f64 {
+    let mut est = kind.make_estimator();
+    for &v in values {
+        est.observe(v);
+    }
+    est.lbound(ctx)
+}
+
+/// Analytic PMA classification (Table 2, §2.3.3).
+pub fn has_pma(kind: BounderKind) -> bool {
+    match kind {
+        // Width is a function of the range and the count only.
+        BounderKind::Hoeffding | BounderKind::HoeffdingRangeTrim => true,
+        // The DKW band mass is pinned to the range endpoints regardless of
+        // the observed values.
+        BounderKind::AndersonDkw | BounderKind::AndersonDkwRangeTrim => true,
+        // Raising small observed values shrinks σ̂ and therefore the width.
+        BounderKind::Bernstein | BounderKind::BernsteinRangeTrim => false,
+    }
+}
+
+/// Analytic PHOS classification (Table 2, §2.3.3 and §3).
+pub fn has_phos(kind: BounderKind) -> bool {
+    match kind {
+        // Symmetric error: both endpoints depend on both a and b.
+        BounderKind::Hoeffding | BounderKind::Bernstein => true,
+        // Anderson's lower bound never consults b (and vice versa).
+        BounderKind::AndersonDkw => false,
+        // RangeTrim exists to remove PHOS.
+        BounderKind::HoeffdingRangeTrim
+        | BounderKind::BernsteinRangeTrim
+        | BounderKind::AndersonDkwRangeTrim => false,
+    }
+}
+
+/// Whether the bounder keeps O(1) state (Table 2's "Memory" column).
+pub fn constant_memory(kind: BounderKind) -> bool {
+    !matches!(
+        kind,
+        BounderKind::AndersonDkw | BounderKind::AndersonDkwRangeTrim
+    )
+}
+
+/// Produces an empirical PMA witness for `kind`, if the pathology is present.
+///
+/// * For the Hoeffding family the witness is Definition 2's replacement on a
+///   sample whose observed minimum and maximum are unchanged by the
+///   replacement (so even the RangeTrim variant cannot benefit): a cluster of
+///   low interior values is raised towards the mean, yet the width stays the
+///   same because the Hoeffding width ignores the values entirely.
+/// * For the Anderson family the witness is a constant sample raised from `c`
+///   to `a′`: the DKW band width `ε·(b − a)` is unaffected.
+/// * For the Bernstein family there is no witness (the width provably shrinks
+///   under either construction), so `None` is returned.
+pub fn pma_witness(kind: BounderKind, delta: f64) -> Option<PmaWitness> {
+    if !has_pma(kind) {
+        return None;
+    }
+    let a = 0.0;
+    let b = 1_000.0;
+    let n = 1_000_000u64;
+    let ctx = BoundContext::new(a, b, n, delta).expect("probe context is valid");
+
+    let (original, raised): (Vec<f64>, Vec<f64>) = match kind {
+        BounderKind::Hoeffding | BounderKind::HoeffdingRangeTrim => {
+            // Keep one sentinel at the bottom and one at the top so the
+            // RangeTrim observed min/max are identical across the pair; raise
+            // the low interior cluster from 100 to 450.
+            let m = 2_000usize;
+            let orig: Vec<f64> = (0..m)
+                .map(|i| match i {
+                    0 => 50.0,
+                    1 => 700.0,
+                    i if i % 10 == 0 => 100.0,
+                    _ => 500.0 + (i % 7) as f64,
+                })
+                .collect();
+            let raised = orig.iter().map(|&x| if x == 100.0 { 450.0 } else { x }).collect();
+            (orig, raised)
+        }
+        BounderKind::AndersonDkw | BounderKind::AndersonDkwRangeTrim => {
+            // Definition 2 with a constant sample: all values below a′ = 400
+            // are raised to a′; the DKW band re-allocation to the range
+            // endpoints keeps the width at ε·(b − a) either way.
+            let m = 2_000usize;
+            let orig = vec![50.0; m];
+            let raised = vec![400.0; m];
+            (orig, raised)
+        }
+        BounderKind::Bernstein | BounderKind::BernsteinRangeTrim => unreachable!(),
+    };
+
+    let width_original = width_for(kind, &original, &ctx);
+    let width_raised = width_for(kind, &raised, &ctx);
+    Some(PmaWitness {
+        width_original,
+        width_raised,
+    })
+}
+
+/// Produces an empirical PHOS witness for `kind`, if the pathology is
+/// present: the confidence lower bound computed for the same sample under the
+/// baseline `b = 1000` and under `b = 10⁶`. For bounders with PHOS the second
+/// lower bound is strictly smaller even though no large value was ever
+/// observed.
+pub fn phos_witness(kind: BounderKind, delta: f64) -> Option<PhosWitness> {
+    if !has_phos(kind) {
+        return None;
+    }
+    let n = 1_000_000u64;
+    let values: Vec<f64> = (0..2_000).map(|i| 200.0 + (i % 11) as f64).collect();
+    let base = BoundContext::new(0.0, 1_000.0, n, delta).expect("probe context is valid");
+    let wide = BoundContext::new(0.0, 1_000_000.0, n, delta).expect("probe context is valid");
+    Some(PhosWitness {
+        lbound_base: lbound_for(kind, &values, &base),
+        lbound_wider_b: lbound_for(kind, &values, &wide),
+    })
+}
+
+/// Empirically checks (without consulting the analytic classification)
+/// whether widening the upper range bound moves the lower confidence bound
+/// for a fixed, interior-valued sample — the operational PHOS test used by
+/// the unit and integration tests to validate [`has_phos`].
+pub fn lbound_moves_with_b(kind: BounderKind, delta: f64) -> bool {
+    let n = 1_000_000u64;
+    let values: Vec<f64> = (0..2_000).map(|i| 200.0 + (i % 11) as f64).collect();
+    let base = BoundContext::new(0.0, 1_000.0, n, delta).expect("probe context is valid");
+    let wide = BoundContext::new(0.0, 1_000_000.0, n, delta).expect("probe context is valid");
+    let lb_base = lbound_for(kind, &values, &base);
+    let lb_wide = lbound_for(kind, &values, &wide);
+    (lb_base - lb_wide).abs() > 1e-7 * lb_base.abs().max(1.0)
+}
+
+/// Produces the full pathology report for one bounder configuration.
+pub fn probe(kind: BounderKind, delta: f64) -> PathologyReport {
+    PathologyReport {
+        kind,
+        pma: has_pma(kind),
+        phos: has_phos(kind),
+        constant_memory: constant_memory(kind),
+        pma_witness: pma_witness(kind, delta),
+        phos_witness: phos_witness(kind, delta),
+    }
+}
+
+/// Produces pathology reports for every bounder configuration — the contents
+/// of Table 2 (plus the RangeTrim rows demonstrating the fix).
+pub fn probe_all(delta: f64) -> Vec<PathologyReport> {
+    BounderKind::ALL.iter().map(|&k| probe(k, delta)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DELTA: f64 = 1e-9;
+
+    fn widths_equal(w: &PmaWitness) -> bool {
+        (w.width_original - w.width_raised).abs() < 1e-9 * w.width_original.abs().max(1.0)
+    }
+
+    #[test]
+    fn table2_hoeffding_row() {
+        let r = probe(BounderKind::Hoeffding, DELTA);
+        assert!(r.pma && r.phos && r.constant_memory);
+        let w = r.pma_witness.expect("PMA witness must exist");
+        assert!(widths_equal(&w), "Hoeffding widths should be identical: {w:?}");
+        let p = r.phos_witness.expect("PHOS witness must exist");
+        assert!(p.lbound_wider_b < p.lbound_base, "{p:?}");
+    }
+
+    #[test]
+    fn table2_bernstein_row() {
+        let r = probe(BounderKind::Bernstein, DELTA);
+        assert!(!r.pma && r.phos && r.constant_memory);
+        assert!(r.pma_witness.is_none());
+        let p = r.phos_witness.expect("PHOS witness must exist");
+        assert!(p.lbound_wider_b < p.lbound_base, "{p:?}");
+    }
+
+    #[test]
+    fn table2_anderson_row() {
+        let r = probe(BounderKind::AndersonDkw, DELTA);
+        assert!(r.pma && !r.phos && !r.constant_memory);
+        let w = r.pma_witness.expect("PMA witness must exist");
+        assert!(widths_equal(&w), "Anderson widths should be identical: {w:?}");
+        assert!(r.phos_witness.is_none());
+    }
+
+    #[test]
+    fn bernstein_with_rangetrim_has_neither_pathology() {
+        // Problem 1's requirement: neither PMA nor PHOS.
+        let r = probe(BounderKind::BernsteinRangeTrim, DELTA);
+        assert!(!r.pma && !r.phos && r.constant_memory);
+        assert!(r.pma_witness.is_none());
+        assert!(r.phos_witness.is_none());
+    }
+
+    #[test]
+    fn rangetrim_removes_phos_but_not_pma_from_hoeffding() {
+        let r = probe(BounderKind::HoeffdingRangeTrim, DELTA);
+        assert!(!r.phos, "RangeTrim should eliminate PHOS from Hoeffding");
+        assert!(r.pma, "RangeTrim does not fix PMA for Hoeffding");
+        let w = r.pma_witness.expect("PMA witness must exist");
+        assert!(widths_equal(&w), "Hoeffding+RT widths should be identical: {w:?}");
+    }
+
+    #[test]
+    fn empirical_phos_check_agrees_with_classification() {
+        for kind in BounderKind::ALL {
+            assert_eq!(
+                lbound_moves_with_b(kind, DELTA),
+                has_phos(kind),
+                "empirical PHOS probe disagrees with classification for {kind}"
+            );
+        }
+    }
+
+    #[test]
+    fn bernstein_width_shrinks_under_pma_construction() {
+        // The reason Bernstein has no PMA: applying the same replacement used
+        // for the Hoeffding witness must strictly shrink the width.
+        let ctx = BoundContext::new(0.0, 1_000.0, 1_000_000, DELTA).unwrap();
+        let m = 2_000usize;
+        let orig: Vec<f64> = (0..m)
+            .map(|i| match i {
+                0 => 50.0,
+                1 => 700.0,
+                i if i % 10 == 0 => 100.0,
+                _ => 500.0 + (i % 7) as f64,
+            })
+            .collect();
+        let raised: Vec<f64> = orig.iter().map(|&x| if x == 100.0 { 450.0 } else { x }).collect();
+        let w_orig = width_for(BounderKind::Bernstein, &orig, &ctx);
+        let w_raised = width_for(BounderKind::Bernstein, &raised, &ctx);
+        assert!(w_raised < w_orig, "{w_raised} should be < {w_orig}");
+
+        let w_orig_rt = width_for(BounderKind::BernsteinRangeTrim, &orig, &ctx);
+        let w_raised_rt = width_for(BounderKind::BernsteinRangeTrim, &raised, &ctx);
+        assert!(w_raised_rt < w_orig_rt);
+    }
+
+    #[test]
+    fn probe_all_covers_every_kind() {
+        let reports = probe_all(DELTA);
+        assert_eq!(reports.len(), BounderKind::ALL.len());
+        let kinds: Vec<_> = reports.iter().map(|r| r.kind).collect();
+        for k in BounderKind::ALL {
+            assert!(kinds.contains(&k));
+        }
+    }
+
+    #[test]
+    fn witness_presence_matches_classification() {
+        for r in probe_all(DELTA) {
+            assert_eq!(r.pma, r.pma_witness.is_some(), "{:?}", r.kind);
+            assert_eq!(r.phos, r.phos_witness.is_some(), "{:?}", r.kind);
+        }
+    }
+}

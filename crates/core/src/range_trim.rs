@@ -1,0 +1,383 @@
+//! The RangeTrim meta-bounder (Algorithms 4 and 6) — the paper's primary
+//! contribution.
+//!
+//! RangeTrim converts any symmetric, range-based SSI error bounder into an
+//! *asymmetric* one without phantom outlier sensitivity (PHOS): the returned
+//! confidence lower bound depends only on the **maximum value observed so
+//! far** (`b′ = max S`) rather than the a-priori upper range bound `b`, and
+//! the upper bound depends only on the **minimum observed value**
+//! (`a′ = min S`) rather than `a`.
+//!
+//! Conceptually (Algorithm 4), after drawing the sample `S`:
+//!
+//! 1. `Lbound` is computed over `S − {max S}` with range `[a, max S]` — by
+//!    Lemma 4, conditioned on the value of `max S`, the remaining elements are
+//!    a uniform without-replacement sample of `D_{< max S}`, whose average is
+//!    at most `AVG(D)`, so the bound remains valid.
+//! 2. `Rbound` is computed over `S − {min S}` with range `[min S, b]`
+//!    (Corollary 1).
+//! 3. Both use population size `N − 1` (valid by dataset-size monotonicity,
+//!    since `|D_{<max S}| ≤ N − 1`).
+//!
+//! The streaming variant implemented here (Algorithm 6) maintains the two
+//! inner states online, feeding the left state `min(v, b′)` and the right
+//! state `max(v, a′)` where `a′`/`b′` are the running min/max *before*
+//! observing `v`; only O(1) extra memory is required beyond the inner states.
+//!
+//! When the effective data range `(MAX − MIN)` of the values contributing to
+//! an aggregate is much smaller than the catalog range `(b − a)` — the common
+//! case after filters and group-bys (Figure 2) — the trimmed bounds are
+//! substantially tighter, which is what drives the additional speedups
+//! reported for `Bernstein+RT` and `Hoeffding+RT` in §5.4.
+
+use crate::bounder::{BoundContext, ErrorBounder};
+
+/// Streaming state for [`RangeTrim`]: two inner states plus the running
+/// minimum/maximum and an (untrimmed) running mean for point estimates.
+#[derive(Debug, Clone)]
+pub struct RangeTrimState<S> {
+    /// Inner state fed `min(v, b′)` — used for the confidence lower bound.
+    pub left: S,
+    /// Inner state fed `max(v, a′)` — used for the confidence upper bound.
+    pub right: S,
+    /// Running minimum `a′` of all observed values (`None` until the first
+    /// observation).
+    pub observed_min: Option<f64>,
+    /// Running maximum `b′` of all observed values.
+    pub observed_max: Option<f64>,
+    /// Total number of observed values (including the first, which is not fed
+    /// to the inner states).
+    count: u64,
+    /// Untrimmed running mean of all observed values — the point estimate
+    /// `ĝ` reported alongside the interval.
+    mean: f64,
+}
+
+/// The RangeTrim meta-bounder: wraps any range-based SSI [`ErrorBounder`] and
+/// eliminates PHOS (Algorithm 6).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RangeTrim<B> {
+    inner: B,
+}
+
+impl<B: ErrorBounder> RangeTrim<B> {
+    /// Wraps `inner` with range trimming.
+    pub fn new(inner: B) -> Self {
+        Self { inner }
+    }
+
+    /// Read access to the wrapped bounder.
+    pub fn inner(&self) -> &B {
+        &self.inner
+    }
+}
+
+impl<B: ErrorBounder> ErrorBounder for RangeTrim<B> {
+    type State = RangeTrimState<B::State>;
+
+    fn init_state(&self) -> Self::State {
+        RangeTrimState {
+            left: self.inner.init_state(),
+            right: self.inner.init_state(),
+            observed_min: None,
+            observed_max: None,
+            count: 0,
+            mean: 0.0,
+        }
+    }
+
+    fn update_state(&self, state: &mut Self::State, v: f64) {
+        state.count += 1;
+        state.mean += (v - state.mean) / state.count as f64;
+        match (state.observed_min, state.observed_max) {
+            (None, _) | (_, None) => {
+                // First observation: it only initializes a′ and b′ (Algorithm
+                // 6, lines 9–13); the inner states stay untouched so that the
+                // conditional-sample argument of Lemma 4 applies.
+                state.observed_min = Some(v);
+                state.observed_max = Some(v);
+            }
+            (Some(a_prime), Some(b_prime)) => {
+                self.inner.update_state(&mut state.left, v.min(b_prime));
+                self.inner.update_state(&mut state.right, v.max(a_prime));
+                state.observed_min = Some(a_prime.min(v));
+                state.observed_max = Some(b_prime.max(v));
+            }
+        }
+    }
+
+    fn lbound(&self, state: &Self::State, ctx: &BoundContext) -> f64 {
+        match state.observed_max {
+            None => ctx.a,
+            Some(b_prime) => {
+                // Lbound(S_l, a, b′, N − 1, δ); clamp the trimmed upper range
+                // bound so [a, b′] is a valid (possibly degenerate) range even
+                // if an observation sat exactly at a.
+                let trimmed_b = b_prime.max(ctx.a);
+                let inner_ctx = ctx.with_range(ctx.a, trimmed_b).with_n(ctx.n.saturating_sub(1).max(1));
+                self.inner.lbound(&state.left, &inner_ctx).max(ctx.a)
+            }
+        }
+    }
+
+    fn rbound(&self, state: &Self::State, ctx: &BoundContext) -> f64 {
+        match state.observed_min {
+            None => ctx.b,
+            Some(a_prime) => {
+                let trimmed_a = a_prime.min(ctx.b);
+                let inner_ctx = ctx.with_range(trimmed_a, ctx.b).with_n(ctx.n.saturating_sub(1).max(1));
+                self.inner.rbound(&state.right, &inner_ctx).min(ctx.b)
+            }
+        }
+    }
+
+    fn observed(&self, state: &Self::State) -> u64 {
+        state.count
+    }
+
+    fn estimate(&self, state: &Self::State) -> Option<f64> {
+        (state.count > 0).then_some(state.mean)
+    }
+
+    fn name(&self) -> &'static str {
+        // Names are static per inner bounder type; match on the inner name.
+        match self.inner.name() {
+            "hoeffding-serfling" => "hoeffding-serfling+range-trim",
+            "empirical-bernstein-serfling" => "empirical-bernstein-serfling+range-trim",
+            "anderson-dkw" => "anderson-dkw+range-trim",
+            _ => "range-trim",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bernstein::EmpiricalBernsteinSerfling;
+    use crate::bounder::BoundContext;
+    use crate::hoeffding::HoeffdingSerfling;
+
+    fn ctx(a: f64, b: f64, n: u64, delta: f64) -> BoundContext {
+        BoundContext::new(a, b, n, delta).unwrap()
+    }
+
+    fn feed<B: ErrorBounder>(bounder: &B, values: &[f64]) -> B::State {
+        let mut st = bounder.init_state();
+        for &v in values {
+            bounder.update_state(&mut st, v);
+        }
+        st
+    }
+
+    #[test]
+    fn empty_state_returns_range_bounds() {
+        let rt = RangeTrim::new(HoeffdingSerfling::new());
+        let st = rt.init_state();
+        let c = ctx(0.0, 100.0, 1000, 0.01);
+        assert_eq!(rt.lbound(&st, &c), 0.0);
+        assert_eq!(rt.rbound(&st, &c), 100.0);
+        assert!(rt.estimate(&st).is_none());
+    }
+
+    #[test]
+    fn first_observation_only_initializes_min_max() {
+        let rt = RangeTrim::new(HoeffdingSerfling::new());
+        let mut st = rt.init_state();
+        rt.update_state(&mut st, 42.0);
+        assert_eq!(st.observed_min, Some(42.0));
+        assert_eq!(st.observed_max, Some(42.0));
+        assert_eq!(rt.observed(&st), 1);
+        // The inner states have not seen any value yet.
+        assert_eq!(st.left.m, 0);
+        assert_eq!(st.right.m, 0);
+        assert_eq!(rt.estimate(&st), Some(42.0));
+    }
+
+    #[test]
+    fn inner_states_receive_clipped_values() {
+        let rt = RangeTrim::new(HoeffdingSerfling::new());
+        let mut st = rt.init_state();
+        rt.update_state(&mut st, 10.0); // initializes a' = b' = 10
+        rt.update_state(&mut st, 50.0); // left sees min(50, 10) = 10, right sees max(50, 10) = 50
+        rt.update_state(&mut st, 5.0); // left sees min(5, 50) = 5, right sees max(5, 10) = 10
+        assert_eq!(st.left.m, 2);
+        assert_eq!(st.right.m, 2);
+        assert!((st.left.mean - 7.5).abs() < 1e-12); // (10 + 5) / 2
+        assert!((st.right.mean - 30.0).abs() < 1e-12); // (50 + 10) / 2
+        assert_eq!(st.observed_min, Some(5.0));
+        assert_eq!(st.observed_max, Some(50.0));
+    }
+
+    #[test]
+    fn estimate_is_untrimmed_running_mean() {
+        let rt = RangeTrim::new(EmpiricalBernsteinSerfling::new());
+        let st = feed(&rt, &[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert!((rt.estimate(&st).unwrap() - 3.0).abs() < 1e-12);
+        assert_eq!(rt.observed(&st), 5);
+    }
+
+    #[test]
+    fn lbound_ignores_upper_range_bound() {
+        // The defining property: PHOS is eliminated, so widening `b` must not
+        // change the lower bound.
+        let rt = RangeTrim::new(EmpiricalBernsteinSerfling::new());
+        let values: Vec<f64> = (0..2000).map(|i| 40.0 + (i % 21) as f64).collect();
+        let st = feed(&rt, &values);
+        let narrow = ctx(0.0, 100.0, 1_000_000, 1e-10);
+        let wide = ctx(0.0, 1.0e9, 1_000_000, 1e-10);
+        assert_eq!(rt.lbound(&st, &narrow), rt.lbound(&st, &wide));
+    }
+
+    #[test]
+    fn rbound_ignores_lower_range_bound() {
+        let rt = RangeTrim::new(EmpiricalBernsteinSerfling::new());
+        let values: Vec<f64> = (0..2000).map(|i| 40.0 + (i % 21) as f64).collect();
+        let st = feed(&rt, &values);
+        let narrow = ctx(0.0, 100.0, 1_000_000, 1e-10);
+        let wide = ctx(-1.0e9, 100.0, 1_000_000, 1e-10);
+        assert_eq!(rt.rbound(&st, &narrow), rt.rbound(&st, &wide));
+    }
+
+    #[test]
+    fn base_bounder_exhibits_phos_where_rangetrim_does_not() {
+        // Contrast: the raw Bernstein lower bound *does* move when b widens.
+        let bern = EmpiricalBernsteinSerfling::new();
+        let values: Vec<f64> = (0..2000).map(|i| 40.0 + (i % 21) as f64).collect();
+        let st = feed(&bern, &values);
+        let narrow = ctx(0.0, 100.0, 1_000_000, 1e-10);
+        let wide = ctx(0.0, 1.0e6, 1_000_000, 1e-10);
+        assert!(bern.lbound(&st, &narrow) > bern.lbound(&st, &wide));
+    }
+
+    #[test]
+    fn roughly_twice_as_tight_when_effective_range_is_small() {
+        // Data concentrated in [100, 105] inside a declared range of
+        // [0, 10_000]: the lower bound's trimmed range collapses to
+        // [0, max S] ≈ 105 while the upper bound still uses [min S, 10_000],
+        // so the total width shrinks by roughly 2× — matching the paper's
+        // observation that RangeTrim buys "an additional 2× in the best case"
+        // for two-sided intervals (§7), and much more for one-sided bounds.
+        // (Data is placed mid-range so neither interval is clamped at the
+        // range boundary.)
+        let values: Vec<f64> = (0..5_000).map(|i| 5_000.0 + (i % 6) as f64).collect();
+        let c = ctx(0.0, 10_000.0, 10_000_000, 1e-10);
+
+        let plain = EmpiricalBernsteinSerfling::new();
+        let w_plain = plain.interval(&feed(&plain, &values), &c).width();
+
+        let rt = RangeTrim::new(EmpiricalBernsteinSerfling::new());
+        let w_rt = rt.interval(&feed(&rt, &values), &c).width();
+
+        assert!(
+            w_rt < 0.62 * w_plain,
+            "RangeTrim width {w_rt} should be ~half of plain {w_plain}"
+        );
+    }
+
+    #[test]
+    fn one_sided_lower_bound_dramatically_tighter_for_concentrated_data() {
+        // The HAVING-style use case: only the lower bound matters. Plain
+        // Bernstein's lower bound is dragged down by the huge declared range;
+        // RangeTrim's uses the observed maximum instead.
+        let values: Vec<f64> = (0..5_000).map(|i| 100.0 + (i % 6) as f64).collect();
+        let mean = values.iter().sum::<f64>() / values.len() as f64;
+        let c = ctx(0.0, 10_000.0, 10_000_000, 1e-10);
+
+        let plain = EmpiricalBernsteinSerfling::new();
+        let lb_plain = plain.lbound(&feed(&plain, &values), &c);
+
+        let rt = RangeTrim::new(EmpiricalBernsteinSerfling::new());
+        let lb_rt = rt.lbound(&feed(&rt, &values), &c);
+
+        let gap_plain = mean - lb_plain;
+        let gap_rt = mean - lb_rt;
+        assert!(
+            gap_rt * 10.0 < gap_plain,
+            "lower-bound gap with RT ({gap_rt}) should be >=10x smaller than plain ({gap_plain})"
+        );
+    }
+
+    #[test]
+    fn hoeffding_rangetrim_tighter_than_hoeffding_for_concentrated_data() {
+        let values: Vec<f64> = (0..5_000).map(|i| 100.0 + (i % 6) as f64).collect();
+        let c = ctx(0.0, 10_000.0, 10_000_000, 1e-10);
+
+        let plain = HoeffdingSerfling::new();
+        let w_plain = plain.interval(&feed(&plain, &values), &c).width();
+
+        let rt = RangeTrim::new(HoeffdingSerfling::new());
+        let w_rt = rt.interval(&feed(&rt, &values), &c).width();
+
+        assert!(w_rt < w_plain);
+    }
+
+    #[test]
+    fn not_much_worse_when_data_spans_full_range() {
+        // When observed min/max already equal the catalog bounds RangeTrim
+        // loses one sample and splits nothing; width should be within a small
+        // factor of the untrimmed bounder.
+        let values: Vec<f64> = (0..4_000).map(|i| if i % 2 == 0 { 0.0 } else { 100.0 }).collect();
+        let c = ctx(0.0, 100.0, 1_000_000, 1e-10);
+
+        let plain = EmpiricalBernsteinSerfling::new();
+        let w_plain = plain.interval(&feed(&plain, &values), &c).width();
+
+        let rt = RangeTrim::new(EmpiricalBernsteinSerfling::new());
+        let w_rt = rt.interval(&feed(&rt, &values), &c).width();
+
+        assert!(w_rt < 1.2 * w_plain, "rt {w_rt} vs plain {w_plain}");
+    }
+
+    #[test]
+    fn interval_contains_true_mean() {
+        let values: Vec<f64> = (0..3_000).map(|i| ((i * 37) % 500) as f64).collect();
+        let mean = values.iter().sum::<f64>() / values.len() as f64;
+        let c = ctx(0.0, 1_000.0, 1_000_000, 1e-12);
+        let rt = RangeTrim::new(EmpiricalBernsteinSerfling::new());
+        let ci = rt.interval(&feed(&rt, &values), &c);
+        assert!(ci.contains(mean), "{ci:?} should contain {mean}");
+    }
+
+    #[test]
+    fn single_observation_yields_full_range_interval() {
+        let rt = RangeTrim::new(EmpiricalBernsteinSerfling::new());
+        let st = feed(&rt, &[50.0]);
+        let c = ctx(0.0, 100.0, 1000, 1e-9);
+        let ci = rt.interval(&st, &c);
+        // The inner states are still empty, so bounds degrade gracefully to
+        // the (trimmed) range bounds.
+        assert_eq!(ci.lo, 0.0);
+        assert!(ci.hi <= 100.0);
+    }
+
+    #[test]
+    fn dataset_size_monotonicity_preserved() {
+        let rt = RangeTrim::new(EmpiricalBernsteinSerfling::new());
+        let st = feed(&rt, &vec![5.0; 300]);
+        let c_small = ctx(0.0, 10.0, 1_000, 1e-9);
+        let c_large = ctx(0.0, 10.0, 1_000_000, 1e-9);
+        assert!(rt.lbound(&st, &c_large) <= rt.lbound(&st, &c_small));
+        assert!(rt.rbound(&st, &c_large) >= rt.rbound(&st, &c_small));
+    }
+
+    #[test]
+    fn population_of_one_does_not_panic() {
+        let rt = RangeTrim::new(HoeffdingSerfling::new());
+        let st = feed(&rt, &[7.0]);
+        let c = ctx(0.0, 10.0, 1, 0.01);
+        let ci = rt.interval(&st, &c);
+        assert!(ci.lo.is_finite() && ci.hi.is_finite());
+    }
+
+    #[test]
+    fn names_identify_inner_bounder() {
+        assert_eq!(
+            RangeTrim::new(HoeffdingSerfling::new()).name(),
+            "hoeffding-serfling+range-trim"
+        );
+        assert_eq!(
+            RangeTrim::new(EmpiricalBernsteinSerfling::new()).name(),
+            "empirical-bernstein-serfling+range-trim"
+        );
+    }
+}

@@ -1,0 +1,95 @@
+//! Confidence intervals for `SUM` aggregates (§4.1).
+//!
+//! The paper composes a `(1 − δ/2)` CI for `COUNT` with a `(1 − δ/2)` CI for
+//! `AVG` via a union bound: `SUM = COUNT · AVG`, so an interval for the
+//! product follows from the two factor intervals. The paper states the result
+//! for the common case of non-negative averages as `[c_l·g_l, c_r·g_r]`; the
+//! implementation here handles negative averages as well by taking the
+//! min/max over the interval corners (the count interval is always
+//! non-negative, so only the sign of the average endpoints matters).
+
+use crate::bounder::Ci;
+
+/// Combines a `(1 − δ/2)` COUNT interval and a `(1 − δ/2)` AVG interval into a
+/// `(1 − δ)` SUM interval.
+///
+/// `count_ci` must be non-negative (counts of rows); `avg_ci` may span zero.
+pub fn sum_interval(count_ci: &Ci, avg_ci: &Ci) -> Ci {
+    let c_lo = count_ci.lo.max(0.0);
+    let c_hi = count_ci.hi.max(0.0);
+    // SUM = N · AVG with N ∈ [c_lo, c_hi] and AVG ∈ [avg_ci.lo, avg_ci.hi];
+    // the extrema of the bilinear form over the rectangle occur at corners.
+    let corners = [
+        c_lo * avg_ci.lo,
+        c_lo * avg_ci.hi,
+        c_hi * avg_ci.lo,
+        c_hi * avg_ci.hi,
+    ];
+    let lo = corners.iter().copied().fold(f64::INFINITY, f64::min);
+    let hi = corners.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    Ci::new(lo, hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn positive_average_matches_paper_formula() {
+        let count = Ci::new(900.0, 1100.0);
+        let avg = Ci::new(4.0, 6.0);
+        let sum = sum_interval(&count, &avg);
+        assert_eq!(sum, Ci::new(3600.0, 6600.0));
+    }
+
+    #[test]
+    fn negative_average_flips_which_count_bound_matters() {
+        let count = Ci::new(900.0, 1100.0);
+        let avg = Ci::new(-6.0, -4.0);
+        let sum = sum_interval(&count, &avg);
+        // Lower bound uses the *larger* count with the more negative average.
+        assert_eq!(sum, Ci::new(-6600.0, -3600.0));
+    }
+
+    #[test]
+    fn average_interval_spanning_zero() {
+        let count = Ci::new(100.0, 200.0);
+        let avg = Ci::new(-1.0, 2.0);
+        let sum = sum_interval(&count, &avg);
+        assert_eq!(sum, Ci::new(-200.0, 400.0));
+    }
+
+    #[test]
+    fn true_sum_contained_when_factors_contained() {
+        // If the factor intervals contain the true COUNT and AVG, the product
+        // interval must contain the true SUM — check over a grid.
+        for &n in &[50.0, 500.0, 5000.0] {
+            for &mean in &[-3.0, 0.0, 0.5, 10.0] {
+                let count = Ci::new(n * 0.9, n * 1.1);
+                let avg = Ci::new(mean - 0.7, mean + 0.7);
+                let sum = sum_interval(&count, &avg);
+                assert!(
+                    sum.contains(n * mean),
+                    "sum {sum:?} should contain {}",
+                    n * mean
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_intervals_produce_exact_sum() {
+        let count = Ci::new(1000.0, 1000.0);
+        let avg = Ci::new(2.5, 2.5);
+        assert_eq!(sum_interval(&count, &avg), Ci::new(2500.0, 2500.0));
+    }
+
+    #[test]
+    fn negative_count_lower_bound_is_clamped() {
+        let count = Ci::new(-10.0, 100.0);
+        let avg = Ci::new(1.0, 2.0);
+        let sum = sum_interval(&count, &avg);
+        assert_eq!(sum.lo, 0.0);
+        assert_eq!(sum.hi, 200.0);
+    }
+}

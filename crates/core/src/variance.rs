@@ -1,0 +1,257 @@
+//! One-pass, numerically stable running moments (Welford's algorithm).
+//!
+//! Algorithm 2 in the paper presents the empirical Bernstein–Serfling bounder
+//! in terms of the raw second moment `M2 = Σ v²` "for the sake of exposition",
+//! noting that "a real implementation might use a more numerically stable
+//! one-pass algorithm for the variance" (Welford 1962, Chan et al. 1983).
+//! This module is that real implementation: it maintains the count, running
+//! mean, sum of squared deviations from the mean, and the observed minimum and
+//! maximum, all in a single pass and O(1) memory.
+
+/// Streaming count / mean / variance / min / max accumulator.
+///
+/// The population variance returned by [`RunningMoments::variance`] is the
+/// *biased* (divide-by-`m`) estimator `σ̂² = (1/m) Σ (xᵢ − x̄)²`, which is the
+/// quantity that appears in the empirical Bernstein–Serfling inequality.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunningMoments {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for RunningMoments {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RunningMoments {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Observes a new value.
+    #[inline]
+    pub fn push(&mut self, v: f64) {
+        self.count += 1;
+        let delta = v - self.mean;
+        self.mean += delta / self.count as f64;
+        let delta2 = v - self.mean;
+        self.m2 += delta * delta2;
+        if v < self.min {
+            self.min = v;
+        }
+        if v > self.max {
+            self.max = v;
+        }
+    }
+
+    /// Merges another accumulator into this one (parallel Welford / Chan et al.).
+    pub fn merge(&mut self, other: &RunningMoments) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of values observed so far.
+    #[inline]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Running mean, or `0.0` if no values have been observed.
+    #[inline]
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Biased (population-style) sample variance `σ̂² = M2 / m`.
+    ///
+    /// Returns `0.0` when fewer than two values have been observed.
+    #[inline]
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            // Guard against tiny negative values caused by rounding.
+            (self.m2 / self.count as f64).max(0.0)
+        }
+    }
+
+    /// Biased sample standard deviation `σ̂`.
+    #[inline]
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Sum of the observed values (`count * mean`).
+    #[inline]
+    pub fn sum(&self) -> f64 {
+        self.mean * self.count as f64
+    }
+
+    /// Smallest value observed so far, or `None` for an empty accumulator.
+    #[inline]
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest value observed so far, or `None` for an empty accumulator.
+    #[inline]
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Resets the accumulator to its empty state.
+    pub fn reset(&mut self) {
+        *self = Self::new();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_stats(values: &[f64]) -> (f64, f64) {
+        let n = values.len() as f64;
+        let mean = values.iter().sum::<f64>() / n;
+        let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n;
+        (mean, var)
+    }
+
+    #[test]
+    fn empty_accumulator_reports_zero() {
+        let m = RunningMoments::new();
+        assert_eq!(m.count(), 0);
+        assert_eq!(m.mean(), 0.0);
+        assert_eq!(m.variance(), 0.0);
+        assert_eq!(m.sum(), 0.0);
+        assert!(m.min().is_none());
+        assert!(m.max().is_none());
+    }
+
+    #[test]
+    fn single_value() {
+        let mut m = RunningMoments::new();
+        m.push(42.0);
+        assert_eq!(m.count(), 1);
+        assert_eq!(m.mean(), 42.0);
+        assert_eq!(m.variance(), 0.0);
+        assert_eq!(m.min(), Some(42.0));
+        assert_eq!(m.max(), Some(42.0));
+    }
+
+    #[test]
+    fn matches_naive_computation() {
+        let values: Vec<f64> = (0..1000).map(|i| (i as f64 * 0.37).sin() * 100.0 + 12.0).collect();
+        let mut m = RunningMoments::new();
+        for &v in &values {
+            m.push(v);
+        }
+        let (mean, var) = naive_stats(&values);
+        assert!((m.mean() - mean).abs() < 1e-9, "{} vs {}", m.mean(), mean);
+        assert!((m.variance() - var).abs() < 1e-6, "{} vs {}", m.variance(), var);
+    }
+
+    #[test]
+    fn numerically_stable_for_large_offsets() {
+        // Classic catastrophic-cancellation scenario for the naive Σv² method.
+        let offset = 1e9;
+        let values: Vec<f64> = (0..10_000).map(|i| offset + (i % 7) as f64).collect();
+        let mut m = RunningMoments::new();
+        for &v in &values {
+            m.push(v);
+        }
+        let (mean, var) = naive_stats(&values);
+        assert!((m.mean() - mean).abs() < 1e-3);
+        assert!((m.variance() - var).abs() / var < 1e-6);
+    }
+
+    #[test]
+    fn merge_matches_sequential() {
+        let values: Vec<f64> = (0..500).map(|i| (i as f64).sqrt() * 3.0 - 10.0).collect();
+        let mut all = RunningMoments::new();
+        for &v in &values {
+            all.push(v);
+        }
+        let mut left = RunningMoments::new();
+        let mut right = RunningMoments::new();
+        for &v in &values[..200] {
+            left.push(v);
+        }
+        for &v in &values[200..] {
+            right.push(v);
+        }
+        left.merge(&right);
+        assert_eq!(left.count(), all.count());
+        assert!((left.mean() - all.mean()).abs() < 1e-9);
+        assert!((left.variance() - all.variance()).abs() < 1e-9);
+        assert_eq!(left.min(), all.min());
+        assert_eq!(left.max(), all.max());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut m = RunningMoments::new();
+        m.push(1.0);
+        m.push(2.0);
+        let snapshot = m;
+        m.merge(&RunningMoments::new());
+        assert_eq!(m, snapshot);
+
+        let mut empty = RunningMoments::new();
+        empty.merge(&snapshot);
+        assert_eq!(empty, snapshot);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut m = RunningMoments::new();
+        m.push(5.0);
+        m.reset();
+        assert_eq!(m.count(), 0);
+        assert!(m.min().is_none());
+    }
+
+    #[test]
+    fn min_max_track_extremes() {
+        let mut m = RunningMoments::new();
+        for v in [3.0, -7.0, 12.5, 0.0] {
+            m.push(v);
+        }
+        assert_eq!(m.min(), Some(-7.0));
+        assert_eq!(m.max(), Some(12.5));
+    }
+
+    #[test]
+    fn sum_is_count_times_mean() {
+        let mut m = RunningMoments::new();
+        for v in [1.0, 2.0, 3.0, 4.0] {
+            m.push(v);
+        }
+        assert!((m.sum() - 10.0).abs() < 1e-12);
+    }
+}

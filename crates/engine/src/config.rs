@@ -1,0 +1,172 @@
+//! Engine configuration: bounder selection, sampling strategy, error budget
+//! and round sizing.
+
+use fastframe_core::bounder::BounderKind;
+use fastframe_core::delta::DEFAULT_ALPHA;
+use fastframe_core::optstop::DEFAULT_ROUND_SIZE;
+use fastframe_core::PAPER_DELTA;
+use fastframe_store::block::DEFAULT_LOOKAHEAD_BATCH;
+
+/// How blocks of the scramble are selected for processing (§4.3, §5.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SamplingStrategy {
+    /// Sequential scan of the scramble. Bitmaps may still be used to skip
+    /// blocks that cannot satisfy a fixed categorical predicate, but no
+    /// group-level prioritization happens.
+    Scan,
+    /// Active scanning with synchronous per-block bitmap checks: blocks
+    /// containing no rows of any active group are skipped, but each check is
+    /// performed inline (incurring the index-lookup latency on the critical
+    /// path).
+    ActiveSync,
+    /// Active scanning with asynchronous lookahead: a separate worker marks
+    /// batches of blocks for processing or skipping using the bitmap index,
+    /// off the critical path (§4.3).
+    ActivePeek,
+}
+
+impl SamplingStrategy {
+    /// All strategies, in the order used by Table 6.
+    pub const ALL: [SamplingStrategy; 3] = [
+        SamplingStrategy::Scan,
+        SamplingStrategy::ActiveSync,
+        SamplingStrategy::ActivePeek,
+    ];
+
+    /// Label used in benchmark tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SamplingStrategy::Scan => "Scan",
+            SamplingStrategy::ActiveSync => "ActiveSync",
+            SamplingStrategy::ActivePeek => "ActivePeek",
+        }
+    }
+}
+
+impl std::fmt::Display for SamplingStrategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Configuration of one approximate query execution.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Which error bounder to use for AVG confidence intervals.
+    pub bounder: BounderKind,
+    /// Which sampling strategy to use.
+    pub strategy: SamplingStrategy,
+    /// Total error probability budget for the query (δ). The paper uses
+    /// `1e-15` throughout its evaluation.
+    pub delta: f64,
+    /// Theorem 3's α: fraction of each view's budget spent on the mean CI
+    /// versus the dataset-size upper bound (paper: 0.99).
+    pub alpha: f64,
+    /// Number of sampled rows per OptStop round (B in Algorithm 5; paper:
+    /// 40 000). CIs are recomputed after roughly this many rows have been
+    /// read from fetched blocks.
+    pub round_rows: u64,
+    /// Lookahead batch size in blocks for `ActivePeek` (paper: 1024).
+    pub lookahead_batch: usize,
+    /// Starting block of the scan. `None` picks a pseudo-random start from
+    /// `seed` ("each approximate query was started from a random position in
+    /// the shuffled data", §5.2).
+    pub start_block: Option<usize>,
+    /// Seed used to pick the starting block when `start_block` is `None`.
+    pub seed: u64,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            bounder: BounderKind::BernsteinRangeTrim,
+            strategy: SamplingStrategy::ActivePeek,
+            delta: PAPER_DELTA,
+            alpha: DEFAULT_ALPHA,
+            round_rows: DEFAULT_ROUND_SIZE,
+            lookahead_batch: DEFAULT_LOOKAHEAD_BATCH,
+            start_block: None,
+            seed: 0x5eed,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// Configuration matching the paper's defaults but with the given bounder.
+    pub fn with_bounder(bounder: BounderKind) -> Self {
+        Self {
+            bounder,
+            ..Self::default()
+        }
+    }
+
+    /// Sets the sampling strategy.
+    pub fn strategy(mut self, strategy: SamplingStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Sets the error budget.
+    pub fn delta(mut self, delta: f64) -> Self {
+        self.delta = delta;
+        self
+    }
+
+    /// Sets the OptStop round size (rows per round).
+    pub fn round_rows(mut self, rows: u64) -> Self {
+        self.round_rows = rows;
+        self
+    }
+
+    /// Sets a deterministic scan start block.
+    pub fn start_block(mut self, block: usize) -> Self {
+        self.start_block = Some(block);
+        self
+    }
+
+    /// Sets the seed used for the random scan start.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = EngineConfig::default();
+        assert_eq!(c.bounder, BounderKind::BernsteinRangeTrim);
+        assert_eq!(c.strategy, SamplingStrategy::ActivePeek);
+        assert_eq!(c.delta, 1e-15);
+        assert_eq!(c.alpha, 0.99);
+        assert_eq!(c.round_rows, 40_000);
+        assert_eq!(c.lookahead_batch, 1024);
+        assert!(c.start_block.is_none());
+    }
+
+    #[test]
+    fn builder_methods() {
+        let c = EngineConfig::with_bounder(BounderKind::Hoeffding)
+            .strategy(SamplingStrategy::Scan)
+            .delta(1e-6)
+            .round_rows(1_000)
+            .start_block(7)
+            .seed(99);
+        assert_eq!(c.bounder, BounderKind::Hoeffding);
+        assert_eq!(c.strategy, SamplingStrategy::Scan);
+        assert_eq!(c.delta, 1e-6);
+        assert_eq!(c.round_rows, 1_000);
+        assert_eq!(c.start_block, Some(7));
+        assert_eq!(c.seed, 99);
+    }
+
+    #[test]
+    fn strategy_labels() {
+        assert_eq!(SamplingStrategy::Scan.label(), "Scan");
+        assert_eq!(SamplingStrategy::ActiveSync.to_string(), "ActiveSync");
+        assert_eq!(SamplingStrategy::ALL.len(), 3);
+    }
+}

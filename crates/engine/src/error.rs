@@ -1,0 +1,86 @@
+//! Engine error type.
+
+use fastframe_core::error::CoreError;
+use fastframe_store::table::StoreError;
+
+/// Errors produced while planning or executing a query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// A storage-layer error (unknown column, type mismatch, ...).
+    Store(StoreError),
+    /// A statistics-layer error (invalid δ, invalid range, ...).
+    Core(CoreError),
+    /// The query groups by a non-categorical column.
+    InvalidGroupBy {
+        /// The offending column.
+        column: String,
+    },
+    /// The scramble holds no rows.
+    EmptyScramble,
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::Store(e) => write!(f, "storage error: {e}"),
+            EngineError::Core(e) => write!(f, "statistics error: {e}"),
+            EngineError::InvalidGroupBy { column } =>
+
+                write!(f, "GROUP BY column `{column}` must be categorical"),
+            EngineError::EmptyScramble => write!(f, "cannot query an empty scramble"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::Store(e) => Some(e),
+            EngineError::Core(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StoreError> for EngineError {
+    fn from(e: StoreError) -> Self {
+        EngineError::Store(e)
+    }
+}
+
+impl From<CoreError> for EngineError {
+    fn from(e: CoreError) -> Self {
+        EngineError::Core(e)
+    }
+}
+
+/// Result alias for engine operations.
+pub type EngineResult<T> = Result<T, EngineError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: EngineError = StoreError::EmptyTable.into();
+        assert!(matches!(e, EngineError::Store(_)));
+        assert!(e.to_string().contains("storage error"));
+
+        let e: EngineError = CoreError::EmptySample.into();
+        assert!(matches!(e, EngineError::Core(_)));
+        assert!(e.to_string().contains("statistics error"));
+
+        let e = EngineError::InvalidGroupBy { column: "delay".into() };
+        assert!(e.to_string().contains("delay"));
+        assert!(EngineError::EmptyScramble.to_string().contains("empty"));
+    }
+
+    #[test]
+    fn source_chains() {
+        use std::error::Error;
+        let e: EngineError = StoreError::EmptyTable.into();
+        assert!(e.source().is_some());
+        assert!(EngineError::EmptyScramble.source().is_none());
+    }
+}

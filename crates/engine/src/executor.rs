@@ -1,0 +1,859 @@
+//! The approximate query executor: OptStop rounds over a scramble scan with
+//! per-view error bounders and active scanning.
+//!
+//! High-level flow (§4):
+//!
+//! 1. **Bind** the query against the scramble: resolve the target expression,
+//!    predicate and GROUP BY columns, derive the range bounds `[a, b]` of the
+//!    target expression from the catalog (Appendix B), and enumerate the
+//!    group universe (one [`AggregateView`] per group).
+//! 2. **Budget** the error probability: δ is split evenly across aggregate
+//!    views (union bound), and within each view decayed per OptStop round as
+//!    `(6/π²)·δ_view/k²` (Algorithm 5); each round's share is further split
+//!    between the dataset-size bound `N⁺` and the mean CI (Theorem 3).
+//! 3. **Scan** blocks of the scramble starting from a random position,
+//!    skipping blocks according to the sampling strategy (predicate bitmap
+//!    for all strategies, active-group bitmaps for ActiveSync/ActivePeek).
+//! 4. After every `round_rows` rows worth of fetched blocks, recompute every
+//!    view's confidence intervals, fold them into the running intervals, and
+//!    evaluate the query's stopping condition; stop as soon as it is
+//!    satisfied.
+//! 5. **Finalize**: produce per-group results, apply HAVING / ORDER BY-LIMIT
+//!    selection, and report metrics (wall time, blocks fetched, rounds).
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use fastframe_core::delta::DeltaBudget;
+use fastframe_core::stopping::GroupSnapshot;
+use fastframe_store::block::BlockId;
+use fastframe_store::expr::BoundExpr;
+use fastframe_store::predicate::BoundPredicate;
+use fastframe_store::scramble::Scramble;
+use fastframe_store::stats::ScanStats;
+use fastframe_store::table::Table;
+
+use crate::config::{EngineConfig, SamplingStrategy};
+use crate::error::{EngineError, EngineResult};
+use crate::metrics::QueryMetrics;
+use crate::query::{AggQuery, AggregateFunction};
+use crate::result::{select_groups, GroupKey, QueryResult};
+use crate::sampling::{plan_batch, ActiveSet, PeekPlanner, PlanContext};
+use crate::view::AggregateView;
+
+/// A batch planner: maps a batch of blocks (plus the following batch, for
+/// lookahead prefetching) and the current active set to fetch/skip decisions
+/// and the number of bitmap probes performed.
+type BatchPlannerFn<'a> = dyn FnMut(&[BlockId], Option<&[BlockId]>, &ActiveSet) -> (Vec<bool>, u64) + 'a;
+
+/// A query bound against a particular scramble.
+struct BoundQuery {
+    target: BoundExpr,
+    predicate: BoundPredicate,
+    group_cols: Vec<usize>,
+    range: (f64, f64),
+    predicate_eq: Option<(String, u32)>,
+    /// Upper bound on the number of aggregate views, used to split δ.
+    view_parts: usize,
+}
+
+fn bind_query(scramble: &Scramble, query: &AggQuery) -> EngineResult<BoundQuery> {
+    let table = scramble.table();
+    if table.num_rows() == 0 {
+        return Err(EngineError::EmptyScramble);
+    }
+    let target = query.target.bind(table)?;
+    let predicate = query.filter.bind(table)?;
+
+    let mut group_cols = Vec::with_capacity(query.group_by.len());
+    let mut view_parts: usize = 1;
+    for name in &query.group_by {
+        let col = table.column(name)?;
+        let cardinality = col.cardinality().ok_or_else(|| EngineError::InvalidGroupBy {
+            column: name.clone(),
+        })?;
+        view_parts = view_parts.saturating_mul(cardinality.max(1));
+        group_cols.push(table.column_index(name)?);
+    }
+
+    let range = match query.aggregate {
+        AggregateFunction::Count => (0.0, 1.0),
+        _ => query.target.range_bounds(scramble.catalog())?,
+    };
+
+    let predicate_eq = query.filter.categorical_equality().and_then(|(col, val)| {
+        table
+            .column(col)
+            .ok()
+            .and_then(|c| c.code_of(val))
+            .map(|code| (col.to_string(), code))
+    });
+
+    Ok(BoundQuery {
+        target,
+        predicate,
+        group_cols,
+        range,
+        predicate_eq,
+        view_parts: view_parts.max(1),
+    })
+}
+
+/// Enumerates the group universe: the distinct code combinations of the
+/// GROUP BY columns that occur in the table. Done once per query from the
+/// dictionary-encoded columns (catalog-style metadata), so it is not counted
+/// against the blocks-fetched metric.
+fn enumerate_groups(
+    table: &Table,
+    group_cols: &[usize],
+) -> (Vec<GroupKey>, HashMap<Vec<u32>, usize>) {
+    if group_cols.is_empty() {
+        let key = GroupKey::global();
+        let mut lookup = HashMap::new();
+        lookup.insert(Vec::new(), 0);
+        return (vec![key], lookup);
+    }
+
+    let mut lookup: HashMap<Vec<u32>, usize> = HashMap::new();
+    let mut keys: Vec<GroupKey> = Vec::new();
+    for row in 0..table.num_rows() {
+        let codes: Vec<u32> = group_cols
+            .iter()
+            .map(|&ci| table.column_at(ci).category_code(row).unwrap_or(u32::MAX))
+            .collect();
+        if !lookup.contains_key(&codes) {
+            let labels = group_cols
+                .iter()
+                .zip(&codes)
+                .map(|(&ci, &code)| {
+                    table
+                        .column_at(ci)
+                        .dictionary()
+                        .and_then(|d| d.get(code as usize).cloned())
+                        .unwrap_or_else(|| format!("#{code}"))
+                })
+                .collect();
+            lookup.insert(codes.clone(), keys.len());
+            keys.push(GroupKey { codes, labels });
+        }
+    }
+    (keys, lookup)
+}
+
+/// Maps a row's group-by dictionary codes to its aggregate-view id without
+/// any per-row heap allocation (the per-row cost of this lookup is on the
+/// critical path of every fetched block).
+enum GroupLookup {
+    /// Ungrouped query: everything routes to the single global view.
+    Global,
+    /// Single GROUP BY column: a dense code → view-id table.
+    SingleColumn {
+        /// Index of the group-by column.
+        column: usize,
+        /// `views_by_code[code]` is the view id, or `u32::MAX` if the code
+        /// never occurs (impossible for codes produced by the column itself).
+        views_by_code: Vec<u32>,
+    },
+    /// Multiple GROUP BY columns: hash lookup with a reusable scratch key.
+    Multi {
+        columns: Vec<usize>,
+        lookup: HashMap<Vec<u32>, usize>,
+    },
+}
+
+impl GroupLookup {
+    fn build(
+        group_cols: &[usize],
+        table: &Table,
+        lookup: HashMap<Vec<u32>, usize>,
+    ) -> Self {
+        match group_cols {
+            [] => GroupLookup::Global,
+            [column] => {
+                let cardinality = table
+                    .column_at(*column)
+                    .cardinality()
+                    .unwrap_or(lookup.len());
+                let mut views_by_code = vec![u32::MAX; cardinality];
+                for (codes, &view) in &lookup {
+                    if let Some(&code) = codes.first() {
+                        if (code as usize) < views_by_code.len() {
+                            views_by_code[code as usize] = view as u32;
+                        }
+                    }
+                }
+                GroupLookup::SingleColumn {
+                    column: *column,
+                    views_by_code,
+                }
+            }
+            _ => GroupLookup::Multi {
+                columns: group_cols.to_vec(),
+                lookup,
+            },
+        }
+    }
+
+    /// The view id for `row`, if its group exists.
+    #[inline]
+    fn view_of(&self, table: &Table, row: usize, scratch: &mut Vec<u32>) -> Option<usize> {
+        match self {
+            GroupLookup::Global => Some(0),
+            GroupLookup::SingleColumn {
+                column,
+                views_by_code,
+            } => {
+                let code = table.column_at(*column).category_code(row)? as usize;
+                match views_by_code.get(code) {
+                    Some(&v) if v != u32::MAX => Some(v as usize),
+                    _ => None,
+                }
+            }
+            GroupLookup::Multi { columns, lookup } => {
+                scratch.clear();
+                for &ci in columns {
+                    scratch.push(table.column_at(ci).category_code(row).unwrap_or(u32::MAX));
+                }
+                lookup.get(scratch).copied()
+            }
+        }
+    }
+}
+
+/// Mutable scan state threaded through the block loop.
+struct ScanState {
+    views: Vec<AggregateView>,
+    lookup: GroupLookup,
+    scratch_codes: Vec<u32>,
+    ever_inactive: Vec<bool>,
+    /// View ids in the current active set (all views before the first round).
+    active_view_ids: Vec<usize>,
+    rows_scanned: u64,
+    stats: ScanStats,
+    rounds: u64,
+    active: ActiveSet,
+    any_active_skip: bool,
+    converged: bool,
+}
+
+impl ScanState {
+    /// Accounts for a skipped block: rows of the block are provably absent
+    /// from every *active* view (and, before the first round, from every
+    /// view, since the only skips possible then are predicate-level ones);
+    /// every other view's selectivity denominator is marked unclean.
+    fn record_skipped_block(&mut self, rows: u64) {
+        self.stats.record_skip();
+        if !self.active.initialized {
+            for view in &mut self.views {
+                view.record_absent(rows);
+            }
+            return;
+        }
+        self.any_active_skip = true;
+        let mut is_active = vec![false; self.views.len()];
+        for &id in &self.active_view_ids {
+            is_active[id] = true;
+        }
+        for (view, active) in self.views.iter_mut().zip(is_active) {
+            if active {
+                view.record_absent(rows);
+            } else {
+                view.mark_denominator_unclean();
+            }
+        }
+    }
+}
+
+/// Executes an approximate query over a scramble.
+pub fn execute_approx(
+    scramble: &Scramble,
+    query: &AggQuery,
+    config: &EngineConfig,
+) -> EngineResult<QueryResult> {
+    let start_time = Instant::now();
+    let bound = bind_query(scramble, query)?;
+    let table = scramble.table();
+    let scramble_rows = scramble.num_rows() as u64;
+
+    // δ budgeting: split across aggregate views (union bound, §4.1).
+    let view_budget = DeltaBudget::new(DeltaBudget::new(config.delta)?.split_even(bound.view_parts))?;
+
+    // Group universe and per-group views.
+    let (keys, view_lookup) = enumerate_groups(table, &bound.group_cols);
+    let lookup = GroupLookup::build(&bound.group_cols, table, view_lookup);
+    let views: Vec<AggregateView> = keys
+        .into_iter()
+        .enumerate()
+        .map(|(id, key)| AggregateView::new(id, key, config.bounder, bound.range))
+        .collect();
+    let ever_inactive = vec![false; views.len()];
+
+    // Scan order: all blocks starting from a pseudo-random position (§5.2).
+    let num_blocks = scramble.num_blocks();
+    let start_block = config.start_block.unwrap_or_else(|| {
+        // Cheap deterministic hash of the seed; uniform enough for a start
+        // offset and keeps the engine free of an RNG dependency.
+        (config
+            .seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .rotate_left(17) as usize)
+            % num_blocks.max(1)
+    });
+    let blocks: Vec<BlockId> = scramble.layout().blocks_from(start_block).collect();
+
+    let block_size = scramble.layout().block_size().max(1);
+    let round_blocks = ((config.round_rows as usize).div_ceil(block_size)).max(1);
+    let batch_size = config.lookahead_batch.max(1);
+
+    let all_view_ids: Vec<usize> = (0..views.len()).collect();
+    let mut state = ScanState {
+        views,
+        lookup,
+        scratch_codes: Vec::with_capacity(4),
+        ever_inactive,
+        active_view_ids: all_view_ids,
+        rows_scanned: 0,
+        stats: ScanStats::new(),
+        rounds: 0,
+        active: ActiveSet::all_active(),
+        any_active_skip: false,
+        converged: false,
+    };
+
+    // Run the scan loop with the strategy-appropriate batch planner.
+    match config.strategy {
+        SamplingStrategy::Scan | SamplingStrategy::ActiveSync => {
+            let ctx = PlanContext::new(
+                scramble,
+                &query.group_by,
+                bound.predicate_eq.clone(),
+                config.strategy,
+            );
+            let mut planner = |chunk: &[BlockId], _next: Option<&[BlockId]>, active: &ActiveSet| {
+                plan_batch(&ctx, chunk, active)
+            };
+            run_scan_loop(
+                scramble, query, config, &bound, &view_budget, scramble_rows, &blocks,
+                round_blocks, batch_size, &mut state, &mut planner,
+            )?;
+        }
+        SamplingStrategy::ActivePeek => {
+            let worker_ctx = PlanContext::new(
+                scramble,
+                &query.group_by,
+                bound.predicate_eq.clone(),
+                config.strategy,
+            );
+            let fallback_ctx = PlanContext::new(
+                scramble,
+                &query.group_by,
+                bound.predicate_eq.clone(),
+                config.strategy,
+            );
+            let (mut peek, worker) = PeekPlanner::new(worker_ctx);
+            std::thread::scope(|scope| -> EngineResult<()> {
+                scope.spawn(worker);
+                let mut planner =
+                    |chunk: &[BlockId], next: Option<&[BlockId]>, active: &ActiveSet| {
+                        let current = peek
+                            .collect()
+                            .unwrap_or_else(|| plan_batch(&fallback_ctx, chunk, active));
+                        if let Some(next) = next {
+                            peek.prefetch(next, active);
+                        }
+                        current
+                    };
+                let out = run_scan_loop(
+                    scramble, query, config, &bound, &view_budget, scramble_rows, &blocks,
+                    round_blocks, batch_size, &mut state, &mut planner,
+                );
+                // `peek` is dropped before the scope ends, closing the
+                // request channel so the worker thread exits before the scope
+                // joins it.
+                drop(peek);
+                out
+            })?;
+        }
+    }
+
+    // Final round so that views updated since the last round evaluation have
+    // fresh intervals, then finalize.
+    state.rounds += 1;
+    let final_delta = view_budget.optstop_round(state.rounds as usize);
+    let full_pass = !state.converged;
+    let mut groups = Vec::with_capacity(state.views.len());
+    for (i, view) in state.views.iter_mut().enumerate() {
+        let exact = full_pass && !(state.any_active_skip && state.ever_inactive[i]);
+        groups.push(view.finalize(
+            query.aggregate,
+            state.rows_scanned,
+            scramble_rows,
+            final_delta,
+            config.alpha,
+            exact,
+        )?);
+    }
+
+    let selected = select_groups(query, &groups);
+    let metrics = QueryMetrics {
+        wall_time: start_time.elapsed(),
+        rows_sampled: state.stats.rows_matched,
+        rounds: state.rounds,
+        stopped_early: state.converged,
+        scan: state.stats,
+    };
+
+    Ok(QueryResult {
+        query_name: query.name.clone(),
+        groups,
+        selected,
+        converged: state.converged,
+        metrics,
+    })
+}
+
+/// The block-scan loop shared by all strategies. `planner` maps a batch of
+/// blocks (plus the following batch, for lookahead prefetching) to fetch/skip
+/// decisions.
+#[allow(clippy::too_many_arguments)]
+fn run_scan_loop(
+    scramble: &Scramble,
+    query: &AggQuery,
+    config: &EngineConfig,
+    bound: &BoundQuery,
+    view_budget: &DeltaBudget,
+    scramble_rows: u64,
+    blocks: &[BlockId],
+    round_blocks: usize,
+    batch_size: usize,
+    state: &mut ScanState,
+    planner: &mut BatchPlannerFn<'_>,
+) -> EngineResult<()> {
+    let table = scramble.table();
+    let mut fetched_since_round = 0usize;
+    let num_batches = blocks.len().div_ceil(batch_size);
+
+    'batches: for batch_idx in 0..num_batches {
+        let start = batch_idx * batch_size;
+        let end = (start + batch_size).min(blocks.len());
+        let chunk = &blocks[start..end];
+        let next = if end < blocks.len() {
+            Some(&blocks[end..(end + batch_size).min(blocks.len())])
+        } else {
+            None
+        };
+
+        let (decisions, checks) = planner(chunk, next, &state.active);
+        state.stats.record_index_checks(checks);
+
+        for (offset, &block) in chunk.iter().enumerate() {
+            let fetch = decisions.get(offset).copied().unwrap_or(true);
+            if !fetch {
+                let rows = scramble.block_rows(block);
+                state.record_skipped_block((rows.end - rows.start) as u64);
+                continue;
+            }
+            process_block(table, bound, query.aggregate, block, scramble, state);
+            fetched_since_round += 1;
+
+            if fetched_since_round >= round_blocks {
+                fetched_since_round = 0;
+                let satisfied = evaluate_round(
+                    query,
+                    config,
+                    view_budget,
+                    scramble_rows,
+                    state,
+                )?;
+                if satisfied {
+                    state.converged = true;
+                    break 'batches;
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Reads one block: evaluates the predicate per row, routes matching rows to
+/// their aggregate views.
+fn process_block(
+    table: &Table,
+    bound: &BoundQuery,
+    aggregate: AggregateFunction,
+    block: BlockId,
+    scramble: &Scramble,
+    state: &mut ScanState,
+) {
+    let rows = scramble.block_rows(block);
+    state.stats.record_fetch((rows.end - rows.start) as u64);
+    for row in rows {
+        state.rows_scanned += 1;
+        if !bound.predicate.matches(table, row) {
+            continue;
+        }
+        let value = match aggregate {
+            AggregateFunction::Count => 1.0,
+            _ => match bound.target.evaluate(table, row) {
+                Some(v) => v,
+                None => continue,
+            },
+        };
+        if let Some(view_id) = state.lookup.view_of(table, row, &mut state.scratch_codes) {
+            state.views[view_id].observe(value);
+            state.stats.record_matches(1);
+        }
+    }
+}
+
+/// Recomputes every view's intervals with this round's decayed δ, evaluates
+/// the stopping condition, and refreshes the active set.
+fn evaluate_round(
+    query: &AggQuery,
+    config: &EngineConfig,
+    view_budget: &DeltaBudget,
+    scramble_rows: u64,
+    state: &mut ScanState,
+) -> EngineResult<bool> {
+    state.rounds += 1;
+    state.stats.record_round();
+    let round_delta = view_budget.optstop_round(state.rounds as usize);
+
+    let mut snapshots: Vec<GroupSnapshot> = Vec::with_capacity(state.views.len());
+    for view in state.views.iter_mut() {
+        snapshots.push(view.round_update(
+            query.aggregate,
+            state.rows_scanned,
+            scramble_rows,
+            round_delta,
+            config.alpha,
+        )?);
+    }
+
+    let satisfied = query.stopping.is_satisfied(&snapshots);
+    if !satisfied {
+        let active_ids = query.stopping.active_groups(&snapshots);
+        let active_lookup: std::collections::HashSet<usize> = active_ids.iter().copied().collect();
+        for (i, flag) in state.ever_inactive.iter_mut().enumerate() {
+            if !active_lookup.contains(&i) {
+                *flag = true;
+            }
+        }
+        state.active = ActiveSet::of(
+            active_ids
+                .iter()
+                .map(|&id| state.views[id].key.codes.clone())
+                .collect(),
+        );
+        state.active_view_ids = active_ids;
+    }
+    Ok(satisfied)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastframe_core::bounder::BounderKind;
+    use fastframe_store::column::Column;
+    use fastframe_store::expr::Expr;
+    use fastframe_store::predicate::Predicate;
+    use fastframe_store::table::Table;
+
+    /// A small synthetic table: 20_000 rows, three airlines with well
+    /// separated mean delays, a filter column, and an outlier-widened range.
+    fn test_scramble() -> Scramble {
+        let n = 20_000usize;
+        let mut delays = Vec::with_capacity(n);
+        let mut airlines = Vec::with_capacity(n);
+        let mut times = Vec::with_capacity(n);
+        for i in 0..n {
+            let airline = match i % 4 {
+                0 | 1 => "AA",
+                2 => "BB",
+                _ => "CC",
+            };
+            // Deterministic pseudo-noise in [-5, 5).
+            let noise = ((i * 2_654_435_761) % 1000) as f64 / 100.0 - 5.0;
+            let base = match airline {
+                "AA" => 5.0,
+                "BB" => 20.0,
+                _ => 40.0,
+            };
+            // A single outlier widens the catalog range well beyond the bulk
+            // of the data (the base means top out at 45).
+            let delay = if i == 1234 { 120.0 } else { base + noise };
+            delays.push(delay);
+            airlines.push(airline.to_string());
+            times.push((600 + (i % 1200)) as i64);
+        }
+        let t = Table::new(vec![
+            Column::float("delay", delays),
+            Column::categorical("airline", &airlines),
+            Column::int("dep_time", times),
+        ])
+        .unwrap();
+        Scramble::build_with(&t, 7, 25, 0.0).unwrap()
+    }
+
+    fn fast_config(bounder: BounderKind, strategy: SamplingStrategy) -> EngineConfig {
+        EngineConfig::with_bounder(bounder)
+            .strategy(strategy)
+            .delta(1e-9)
+            .round_rows(2_000)
+            .start_block(0)
+    }
+
+    #[test]
+    fn ungrouped_avg_with_relative_error_stops_early_and_is_close() {
+        let s = test_scramble();
+        let q = AggQuery::avg("avg-delay", Expr::col("delay"))
+            .relative_error(0.2)
+            .build();
+        let cfg = fast_config(BounderKind::BernsteinRangeTrim, SamplingStrategy::Scan);
+        let r = execute_approx(&s, &q, &cfg).unwrap();
+        assert_eq!(r.groups.len(), 1);
+        let g = r.global().unwrap();
+        // True mean ≈ (5 + 5 + 20 + 40)/4 = 17.5 plus a negligible outlier
+        // contribution.
+        let est = g.estimate.unwrap();
+        assert!((est - 17.5).abs() < 2.0, "estimate {est}");
+        assert!(g.ci.contains(est));
+        assert!(r.converged, "should stop before the full pass");
+        assert!(r.metrics.blocks_fetched() < s.num_blocks() as u64);
+    }
+
+    #[test]
+    fn grouped_having_matches_ground_truth() {
+        let s = test_scramble();
+        let q = AggQuery::avg("having", Expr::col("delay"))
+            .group_by("airline")
+            .having_gt(15.0)
+            .build();
+        let cfg = fast_config(BounderKind::BernsteinRangeTrim, SamplingStrategy::ActiveSync);
+        let r = execute_approx(&s, &q, &cfg).unwrap();
+        let mut selected = r.selected_labels();
+        selected.sort();
+        assert_eq!(selected, vec!["BB".to_string(), "CC".to_string()]);
+        assert_eq!(r.groups.len(), 3);
+    }
+
+    #[test]
+    fn grouped_topk_selects_correct_group() {
+        let s = test_scramble();
+        let q = AggQuery::avg("top1", Expr::col("delay"))
+            .group_by("airline")
+            .order_desc_limit(1)
+            .build();
+        let cfg = fast_config(BounderKind::BernsteinRangeTrim, SamplingStrategy::ActivePeek);
+        let r = execute_approx(&s, &q, &cfg).unwrap();
+        assert_eq!(r.selected_labels(), vec!["CC".to_string()]);
+    }
+
+    #[test]
+    fn all_strategies_agree_on_results() {
+        let s = test_scramble();
+        let q = AggQuery::avg("bottom1", Expr::col("delay"))
+            .group_by("airline")
+            .order_asc_limit(1)
+            .build();
+        for strategy in SamplingStrategy::ALL {
+            let cfg = fast_config(BounderKind::BernsteinRangeTrim, strategy);
+            let r = execute_approx(&s, &q, &cfg).unwrap();
+            assert_eq!(r.selected_labels(), vec!["AA".to_string()], "strategy {strategy}");
+        }
+    }
+
+    #[test]
+    fn bernstein_fetches_fewer_blocks_than_hoeffding() {
+        // The outlier-widened range hurts Hoeffding (PMA); Bernstein's
+        // variance-sensitive width converges much faster.
+        let s = test_scramble();
+        let q = AggQuery::avg("cmp", Expr::col("delay"))
+            .group_by("airline")
+            .having_gt(15.0)
+            .build();
+        let hoef = execute_approx(
+            &s,
+            &q,
+            &fast_config(BounderKind::Hoeffding, SamplingStrategy::Scan),
+        )
+        .unwrap();
+        let bern = execute_approx(
+            &s,
+            &q,
+            &fast_config(BounderKind::BernsteinRangeTrim, SamplingStrategy::Scan),
+        )
+        .unwrap();
+        assert!(
+            bern.metrics.blocks_fetched() <= hoef.metrics.blocks_fetched(),
+            "bernstein {} vs hoeffding {}",
+            bern.metrics.blocks_fetched(),
+            hoef.metrics.blocks_fetched()
+        );
+        // Selections agree regardless.
+        assert_eq!(
+            {
+                let mut v = bern.selected_labels();
+                v.sort();
+                v
+            },
+            {
+                let mut v = hoef.selected_labels();
+                v.sort();
+                v
+            }
+        );
+    }
+
+    #[test]
+    fn filtered_query_with_predicate() {
+        let s = test_scramble();
+        let q = AggQuery::avg("filtered", Expr::col("delay"))
+            .filter(Predicate::cat_eq("airline", "BB"))
+            .relative_error(0.2)
+            .build();
+        let cfg = fast_config(BounderKind::BernsteinRangeTrim, SamplingStrategy::Scan);
+        let r = execute_approx(&s, &q, &cfg).unwrap();
+        let est = r.global().unwrap().estimate.unwrap();
+        assert!((est - 20.0).abs() < 2.0, "estimate {est}");
+    }
+
+    #[test]
+    fn count_query_brackets_truth() {
+        let s = test_scramble();
+        let q = AggQuery::count("count-bb")
+            .filter(Predicate::cat_eq("airline", "BB"))
+            .relative_error(0.1)
+            .build();
+        let cfg = fast_config(BounderKind::BernsteinRangeTrim, SamplingStrategy::Scan);
+        let r = execute_approx(&s, &q, &cfg).unwrap();
+        let g = r.global().unwrap();
+        // A quarter of 20_000 rows are "BB".
+        assert!(g.ci.contains(5_000.0), "{:?}", g.ci);
+    }
+
+    #[test]
+    fn sum_query_brackets_truth() {
+        let s = test_scramble();
+        let q = AggQuery::sum("sum-delay", Expr::col("delay"))
+            .filter(Predicate::cat_eq("airline", "AA"))
+            .relative_error(0.25)
+            .build();
+        let cfg = fast_config(BounderKind::BernsteinRangeTrim, SamplingStrategy::Scan);
+        let r = execute_approx(&s, &q, &cfg).unwrap();
+        let g = r.global().unwrap();
+        // Compare against the exact SUM over the AA rows (row 1234, the
+        // outlier, is a "BB" row, so it does not contribute).
+        let true_sum: f64 = (0..20_000usize)
+            .filter(|i| i % 4 == 0 || i % 4 == 1)
+            .map(|i| {
+                let noise = ((i * 2_654_435_761) % 1000) as f64 / 100.0 - 5.0;
+                5.0 + noise
+            })
+            .sum();
+        assert!(g.ci.contains(true_sum), "{:?} should contain {true_sum}", g.ci);
+    }
+
+    #[test]
+    fn threshold_query_single_group() {
+        let s = test_scramble();
+        let q = AggQuery::avg("thresh", Expr::col("delay"))
+            .filter(Predicate::cat_eq("airline", "CC"))
+            .stop_when(fastframe_core::stopping::StoppingCondition::ThresholdSide {
+                threshold: 10.0,
+            })
+            .build();
+        let cfg = fast_config(BounderKind::BernsteinRangeTrim, SamplingStrategy::Scan);
+        let r = execute_approx(&s, &q, &cfg).unwrap();
+        let g = r.global().unwrap();
+        assert!(g.ci.lo > 10.0, "CC's mean (~40) is decisively above 10: {:?}", g.ci);
+        assert!(r.converged);
+    }
+
+    #[test]
+    fn exhaustive_scan_marks_results_exact() {
+        let s = test_scramble();
+        // Impossible stopping condition → full pass → exact results.
+        let q = AggQuery::avg("exact", Expr::col("delay"))
+            .group_by("airline")
+            .absolute_width(0.0)
+            .build();
+        let cfg = fast_config(BounderKind::BernsteinRangeTrim, SamplingStrategy::Scan);
+        let r = execute_approx(&s, &q, &cfg).unwrap();
+        assert!(!r.converged);
+        for g in &r.groups {
+            assert!(g.exact);
+            assert!(g.ci.width() < 1e-6, "exact interval should be (nearly) degenerate");
+        }
+        // Sanity: the exact group means are the expected ones.
+        let mean_of = |label: &str| {
+            r.groups
+                .iter()
+                .find(|g| g.key.display() == label)
+                .unwrap()
+                .estimate
+                .unwrap()
+        };
+        assert!((mean_of("AA") - 5.0).abs() < 0.5);
+        assert!((mean_of("BB") - 20.0).abs() < 0.5);
+        assert!((mean_of("CC") - 40.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn empty_scramble_is_rejected() {
+        let t = Table::new(vec![Column::float("x", vec![])]).unwrap();
+        let s = Scramble::build(&t, 1).unwrap();
+        let q = AggQuery::avg("q", Expr::col("x")).build();
+        let cfg = EngineConfig::default();
+        assert!(matches!(
+            execute_approx(&s, &q, &cfg),
+            Err(EngineError::EmptyScramble)
+        ));
+    }
+
+    #[test]
+    fn group_by_numeric_column_is_rejected() {
+        let s = test_scramble();
+        let q = AggQuery::avg("q", Expr::col("delay"))
+            .group_by("delay")
+            .build();
+        let cfg = EngineConfig::default();
+        assert!(matches!(
+            execute_approx(&s, &q, &cfg),
+            Err(EngineError::InvalidGroupBy { .. })
+        ));
+    }
+
+    #[test]
+    fn metrics_are_populated() {
+        let s = test_scramble();
+        let q = AggQuery::avg("metrics", Expr::col("delay"))
+            .relative_error(0.3)
+            .build();
+        let cfg = fast_config(BounderKind::BernsteinRangeTrim, SamplingStrategy::Scan);
+        let r = execute_approx(&s, &q, &cfg).unwrap();
+        assert!(r.metrics.blocks_fetched() > 0);
+        assert!(r.metrics.scan.rows_scanned > 0);
+        assert!(r.metrics.rounds >= 1);
+        assert!(r.metrics.wall_time.as_nanos() > 0);
+        assert!(r.metrics.rows_sampled > 0);
+    }
+
+    #[test]
+    fn random_start_block_is_deterministic_per_seed() {
+        let s = test_scramble();
+        let q = AggQuery::avg("seeded", Expr::col("delay"))
+            .relative_error(0.2)
+            .build();
+        let mut cfg = fast_config(BounderKind::BernsteinRangeTrim, SamplingStrategy::Scan);
+        cfg.start_block = None;
+        cfg.seed = 123;
+        let a = execute_approx(&s, &q, &cfg).unwrap();
+        let b = execute_approx(&s, &q, &cfg).unwrap();
+        assert_eq!(
+            a.global().unwrap().estimate,
+            b.global().unwrap().estimate
+        );
+        assert_eq!(a.metrics.blocks_fetched(), b.metrics.blocks_fetched());
+    }
+}

@@ -1,0 +1,59 @@
+//! # fastframe-engine
+//!
+//! The FastFrame approximate-aggregation engine: early-terminating `AVG` /
+//! `SUM` / `COUNT` queries with sample-size-independent confidence
+//! intervals, over the sampling-optimized column store of `fastframe-store`
+//! and the error bounders of `fastframe-core`.
+//!
+//! Reproduces the system side of *“Rapid Approximate Aggregation with
+//! Distribution-Sensitive Interval Guarantees”* (Macke et al., ICDE 2021):
+//!
+//! * the OptStop sampling loop with per-round δ decay (Algorithm 5),
+//! * per-aggregate-view error bounders with unknown-dataset-size handling
+//!   (Lemma 5, Theorem 3),
+//! * the stopping conditions Ê–Ï of §4.2 and the matching active-group
+//!   rules of §4.3,
+//! * the three sampling strategies evaluated in §5 (`Scan`, `ActiveSync`,
+//!   `ActivePeek` with asynchronous lookahead), and
+//! * the `Exact` baseline executor.
+//!
+//! The main entry point is [`FastFrame`]; see the crate examples
+//! (`examples/quickstart.rs` and friends) for end-to-end usage.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+#![deny(unsafe_code)]
+
+pub mod config;
+pub mod error;
+pub mod exact;
+pub mod executor;
+pub mod metrics;
+pub mod query;
+pub mod result;
+pub mod sampling;
+pub mod session;
+pub mod view;
+
+pub use config::{EngineConfig, SamplingStrategy};
+pub use error::{EngineError, EngineResult};
+pub use metrics::QueryMetrics;
+pub use query::{AggQuery, AggQueryBuilder, AggregateFunction, CmpOp, HavingClause, OrderLimit};
+pub use result::{GroupKey, GroupResult, QueryResult};
+pub use session::FastFrame;
+
+/// Convenience re-exports for downstream crates and examples.
+pub mod prelude {
+    pub use crate::config::{EngineConfig, SamplingStrategy};
+    pub use crate::error::{EngineError, EngineResult};
+    pub use crate::metrics::QueryMetrics;
+    pub use crate::query::{
+        AggQuery, AggQueryBuilder, AggregateFunction, CmpOp, HavingClause, OrderLimit,
+    };
+    pub use crate::result::{GroupKey, GroupResult, QueryResult};
+    pub use crate::session::FastFrame;
+    pub use fastframe_core::bounder::BounderKind;
+    pub use fastframe_core::stopping::StoppingCondition;
+    pub use fastframe_store::expr::Expr;
+    pub use fastframe_store::predicate::Predicate;
+}

@@ -1,0 +1,79 @@
+//! Per-query execution metrics.
+
+use std::time::Duration;
+
+use fastframe_store::stats::ScanStats;
+
+/// Metrics collected while executing one query, mirroring §5.3's measurement
+/// methodology (wall-clock time and blocks fetched).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct QueryMetrics {
+    /// End-to-end wall-clock time.
+    pub wall_time: Duration,
+    /// Storage-level counters (blocks fetched / skipped, rows scanned, ...).
+    pub scan: ScanStats,
+    /// Rows that contributed to at least one aggregate view.
+    pub rows_sampled: u64,
+    /// OptStop rounds executed (CI recomputations).
+    pub rounds: u64,
+    /// Whether the query terminated before exhausting the scramble.
+    pub stopped_early: bool,
+}
+
+impl QueryMetrics {
+    /// Blocks fetched — the paper's hardware-independent cost metric.
+    pub fn blocks_fetched(&self) -> u64 {
+        self.scan.blocks_fetched
+    }
+
+    /// Speedup of this execution relative to a baseline, by wall time.
+    pub fn speedup_over(&self, baseline: &QueryMetrics) -> f64 {
+        let own = self.wall_time.as_secs_f64();
+        if own <= 0.0 {
+            return f64::INFINITY;
+        }
+        baseline.wall_time.as_secs_f64() / own
+    }
+
+    /// Speedup of this execution relative to a baseline, by blocks fetched.
+    pub fn block_speedup_over(&self, baseline: &QueryMetrics) -> f64 {
+        if self.scan.blocks_fetched == 0 {
+            return f64::INFINITY;
+        }
+        baseline.scan.blocks_fetched as f64 / self.scan.blocks_fetched as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn speedups() {
+        let mut fast = QueryMetrics {
+            wall_time: Duration::from_millis(10),
+            ..Default::default()
+        };
+        fast.scan.blocks_fetched = 100;
+        let mut slow = QueryMetrics {
+            wall_time: Duration::from_millis(1000),
+            ..Default::default()
+        };
+        slow.scan.blocks_fetched = 5000;
+        assert!((fast.speedup_over(&slow) - 100.0).abs() < 1e-9);
+        assert!((fast.block_speedup_over(&slow) - 50.0).abs() < 1e-9);
+        assert_eq!(fast.blocks_fetched(), 100);
+    }
+
+    #[test]
+    fn zero_cost_reports_infinite_speedup() {
+        let zero = QueryMetrics::default();
+        let mut other = QueryMetrics {
+            wall_time: Duration::from_millis(5),
+            ..Default::default()
+        };
+        other.scan.blocks_fetched = 10;
+        assert!(zero.speedup_over(&other).is_infinite());
+        assert!(zero.block_speedup_over(&other).is_infinite());
+    }
+}

@@ -1,0 +1,316 @@
+//! The query model: single-table aggregate queries with filters, GROUP BY,
+//! HAVING and ORDER BY ... LIMIT clauses — the query shapes exercised by the
+//! paper's evaluation (Figure 5).
+
+use fastframe_core::stopping::StoppingCondition;
+use fastframe_store::expr::Expr;
+use fastframe_store::predicate::Predicate;
+
+/// The supported aggregate functions (§4.1 covers AVG, SUM and COUNT).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AggregateFunction {
+    /// Arithmetic mean of the target expression over matching rows.
+    Avg,
+    /// Sum of the target expression over matching rows.
+    Sum,
+    /// Number of matching rows (the target expression is ignored).
+    Count,
+}
+
+impl std::fmt::Display for AggregateFunction {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            AggregateFunction::Avg => "AVG",
+            AggregateFunction::Sum => "SUM",
+            AggregateFunction::Count => "COUNT",
+        })
+    }
+}
+
+/// Comparison operators for HAVING clauses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// Aggregate strictly greater than the threshold.
+    Gt,
+    /// Aggregate strictly less than the threshold.
+    Lt,
+}
+
+/// `HAVING <agg> <op> <threshold>` — selects groups whose aggregate lies on
+/// one side of a constant.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HavingClause {
+    /// Comparison operator.
+    pub op: CmpOp,
+    /// Comparison constant.
+    pub threshold: f64,
+}
+
+/// `ORDER BY <agg> [ASC|DESC] LIMIT <k>` — selects the `k` groups with the
+/// smallest or largest aggregates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OrderLimit {
+    /// `true` for descending order (largest aggregates first).
+    pub descending: bool,
+    /// Number of groups to return.
+    pub limit: usize,
+}
+
+/// A single-table aggregate query.
+#[derive(Debug, Clone)]
+pub struct AggQuery {
+    /// Display name (e.g. `F-q2`).
+    pub name: String,
+    /// Aggregate function.
+    pub aggregate: AggregateFunction,
+    /// Expression being aggregated (ignored for COUNT).
+    pub target: Expr,
+    /// WHERE-clause predicate.
+    pub filter: Predicate,
+    /// GROUP BY columns (categorical). Empty for a single global aggregate.
+    pub group_by: Vec<String>,
+    /// Optional HAVING clause over the group aggregates.
+    pub having: Option<HavingClause>,
+    /// Optional ORDER BY ... LIMIT clause over the group aggregates.
+    pub order: Option<OrderLimit>,
+    /// The early-termination condition (§4.2). Defaults to
+    /// [`StoppingCondition::GroupsOrdered`]-style conditions derived from the
+    /// clauses via the builder helpers, but can be set explicitly.
+    pub stopping: StoppingCondition,
+}
+
+impl AggQuery {
+    /// Starts building an `AVG(target)` query.
+    pub fn avg(name: impl Into<String>, target: Expr) -> AggQueryBuilder {
+        AggQueryBuilder::new(name, AggregateFunction::Avg, target)
+    }
+
+    /// Starts building a `SUM(target)` query.
+    pub fn sum(name: impl Into<String>, target: Expr) -> AggQueryBuilder {
+        AggQueryBuilder::new(name, AggregateFunction::Sum, target)
+    }
+
+    /// Starts building a `COUNT(*)` query.
+    pub fn count(name: impl Into<String>) -> AggQueryBuilder {
+        AggQueryBuilder::new(name, AggregateFunction::Count, Expr::lit(1.0))
+    }
+
+    /// Number of aggregate-view δ shares this query needs: an upper bound on
+    /// the number of groups (product of group-by column cardinalities,
+    /// supplied by the engine) — "δ must be divided by the number of
+    /// aggregate views in a query (or an upper bound)" (§4.1).
+    pub fn is_grouped(&self) -> bool {
+        !self.group_by.is_empty()
+    }
+}
+
+/// Builder for [`AggQuery`].
+#[derive(Debug, Clone)]
+pub struct AggQueryBuilder {
+    query: AggQuery,
+}
+
+impl AggQueryBuilder {
+    fn new(name: impl Into<String>, aggregate: AggregateFunction, target: Expr) -> Self {
+        Self {
+            query: AggQuery {
+                name: name.into(),
+                aggregate,
+                target,
+                filter: Predicate::True,
+                group_by: Vec::new(),
+                having: None,
+                order: None,
+                stopping: StoppingCondition::RelativeError { epsilon: 0.05 },
+            },
+        }
+    }
+
+    /// Sets the WHERE-clause predicate.
+    pub fn filter(mut self, predicate: Predicate) -> Self {
+        self.query.filter = predicate;
+        self
+    }
+
+    /// Adds a GROUP BY column.
+    pub fn group_by(mut self, column: impl Into<String>) -> Self {
+        self.query.group_by.push(column.into());
+        self
+    }
+
+    /// Adds a `HAVING agg > threshold` clause and sets the matching
+    /// threshold-side stopping condition Í.
+    pub fn having_gt(mut self, threshold: f64) -> Self {
+        self.query.having = Some(HavingClause {
+            op: CmpOp::Gt,
+            threshold,
+        });
+        self.query.stopping = StoppingCondition::ThresholdSide { threshold };
+        self
+    }
+
+    /// Adds a `HAVING agg < threshold` clause and sets the matching
+    /// threshold-side stopping condition Í.
+    pub fn having_lt(mut self, threshold: f64) -> Self {
+        self.query.having = Some(HavingClause {
+            op: CmpOp::Lt,
+            threshold,
+        });
+        self.query.stopping = StoppingCondition::ThresholdSide { threshold };
+        self
+    }
+
+    /// Adds an `ORDER BY agg DESC LIMIT k` clause and sets the top-K
+    /// separation stopping condition Î.
+    pub fn order_desc_limit(mut self, k: usize) -> Self {
+        self.query.order = Some(OrderLimit {
+            descending: true,
+            limit: k,
+        });
+        self.query.stopping = StoppingCondition::TopKSeparated { k, largest: true };
+        self
+    }
+
+    /// Adds an `ORDER BY agg ASC LIMIT k` clause and sets the bottom-K
+    /// separation stopping condition Î.
+    pub fn order_asc_limit(mut self, k: usize) -> Self {
+        self.query.order = Some(OrderLimit {
+            descending: false,
+            limit: k,
+        });
+        self.query.stopping = StoppingCondition::TopKSeparated { k, largest: false };
+        self
+    }
+
+    /// Sets the stopping condition explicitly (overrides the one derived from
+    /// `having_*` / `order_*`).
+    pub fn stop_when(mut self, condition: StoppingCondition) -> Self {
+        self.query.stopping = condition;
+        self
+    }
+
+    /// Requires every group's aggregate to reach relative error below
+    /// `epsilon` (stopping condition Ì).
+    pub fn relative_error(mut self, epsilon: f64) -> Self {
+        self.query.stopping = StoppingCondition::RelativeError { epsilon };
+        self
+    }
+
+    /// Requires every group's interval width to drop below `epsilon`
+    /// (stopping condition Ë).
+    pub fn absolute_width(mut self, epsilon: f64) -> Self {
+        self.query.stopping = StoppingCondition::AbsoluteWidth { epsilon };
+        self
+    }
+
+    /// Requires the full ordering of group aggregates to be determined
+    /// (stopping condition Ï).
+    pub fn groups_ordered(mut self) -> Self {
+        self.query.stopping = StoppingCondition::GroupsOrdered;
+        self
+    }
+
+    /// Requires a fixed number of contributing samples per group (stopping
+    /// condition Ê).
+    pub fn sample_count(mut self, m: u64) -> Self {
+        self.query.stopping = StoppingCondition::SampleCount { m };
+        self
+    }
+
+    /// Finalizes the query.
+    pub fn build(self) -> AggQuery {
+        self.query
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_defaults() {
+        let q = AggQuery::avg("q", Expr::col("delay")).build();
+        assert_eq!(q.aggregate, AggregateFunction::Avg);
+        assert_eq!(q.name, "q");
+        assert!(!q.is_grouped());
+        assert_eq!(q.filter, Predicate::True);
+        assert!(q.having.is_none());
+        assert!(q.order.is_none());
+        assert!(matches!(q.stopping, StoppingCondition::RelativeError { .. }));
+    }
+
+    #[test]
+    fn having_sets_threshold_stopping() {
+        let q = AggQuery::avg("q", Expr::col("delay"))
+            .group_by("airline")
+            .having_gt(5.0)
+            .build();
+        assert!(q.is_grouped());
+        assert_eq!(
+            q.having,
+            Some(HavingClause {
+                op: CmpOp::Gt,
+                threshold: 5.0
+            })
+        );
+        assert_eq!(q.stopping, StoppingCondition::ThresholdSide { threshold: 5.0 });
+
+        let q = AggQuery::avg("q", Expr::col("delay")).having_lt(0.0).build();
+        assert_eq!(q.having.unwrap().op, CmpOp::Lt);
+    }
+
+    #[test]
+    fn order_limit_sets_topk_stopping() {
+        let q = AggQuery::avg("q", Expr::col("delay"))
+            .group_by("airline")
+            .order_desc_limit(5)
+            .build();
+        assert_eq!(
+            q.order,
+            Some(OrderLimit {
+                descending: true,
+                limit: 5
+            })
+        );
+        assert_eq!(
+            q.stopping,
+            StoppingCondition::TopKSeparated { k: 5, largest: true }
+        );
+
+        let q = AggQuery::avg("q", Expr::col("delay"))
+            .group_by("airline")
+            .order_asc_limit(2)
+            .build();
+        assert_eq!(
+            q.stopping,
+            StoppingCondition::TopKSeparated { k: 2, largest: false }
+        );
+    }
+
+    #[test]
+    fn explicit_stopping_conditions() {
+        let q = AggQuery::avg("q", Expr::col("x")).relative_error(0.5).build();
+        assert_eq!(q.stopping, StoppingCondition::RelativeError { epsilon: 0.5 });
+        let q = AggQuery::avg("q", Expr::col("x")).absolute_width(1.0).build();
+        assert_eq!(q.stopping, StoppingCondition::AbsoluteWidth { epsilon: 1.0 });
+        let q = AggQuery::avg("q", Expr::col("x")).groups_ordered().build();
+        assert_eq!(q.stopping, StoppingCondition::GroupsOrdered);
+        let q = AggQuery::avg("q", Expr::col("x")).sample_count(500).build();
+        assert_eq!(q.stopping, StoppingCondition::SampleCount { m: 500 });
+        let q = AggQuery::avg("q", Expr::col("x"))
+            .stop_when(StoppingCondition::ThresholdSide { threshold: 1.0 })
+            .build();
+        assert_eq!(q.stopping, StoppingCondition::ThresholdSide { threshold: 1.0 });
+    }
+
+    #[test]
+    fn count_and_sum_builders() {
+        let q = AggQuery::count("c").build();
+        assert_eq!(q.aggregate, AggregateFunction::Count);
+        let q = AggQuery::sum("s", Expr::col("delay")).build();
+        assert_eq!(q.aggregate, AggregateFunction::Sum);
+        assert_eq!(q.aggregate.to_string(), "SUM");
+        assert_eq!(AggregateFunction::Avg.to_string(), "AVG");
+        assert_eq!(AggregateFunction::Count.to_string(), "COUNT");
+    }
+}

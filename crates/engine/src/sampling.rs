@@ -1,0 +1,405 @@
+//! Sampling strategies: which blocks of the scramble to fetch (§4.3).
+//!
+//! All three strategies consume blocks in scramble order (starting from a
+//! random position), which preserves the without-replacement sampling
+//! semantics of the scramble; they differ in which blocks they *skip*:
+//!
+//! * [`SamplingStrategy::Scan`] skips only blocks that cannot satisfy a fixed
+//!   categorical equality predicate (when one exists and is indexed);
+//! * [`SamplingStrategy::ActiveSync`] additionally skips blocks containing no
+//!   rows of any *active* group, checking the bitmap index synchronously for
+//!   every block;
+//! * [`SamplingStrategy::ActivePeek`] makes the same decisions but computes
+//!   them on a lookahead worker one batch (1024 blocks) ahead of the scan, so
+//!   the index probes overlap with block processing (§4.3's async lookahead).
+//!
+//! [`plan_batch`] contains the shared decision logic; [`PeekPlanner`] adds the
+//! double-buffered worker pipeline used by `ActivePeek`.
+
+use crossbeam::channel::{bounded, Receiver, Sender};
+
+use fastframe_store::bitmap::BlockBitmapIndex;
+use fastframe_store::block::BlockId;
+use fastframe_store::scramble::Scramble;
+
+pub use crate::config::SamplingStrategy;
+
+/// The set of groups still requiring samples, expressed as dictionary-code
+/// tuples over the query's GROUP BY columns.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ActiveSet {
+    /// `false` until the first OptStop round has produced group snapshots; a
+    /// planner must treat every group as active until then.
+    pub initialized: bool,
+    /// One entry per active group: the group's dictionary codes, one per
+    /// GROUP BY column (in query order).
+    pub tuples: Vec<Vec<u32>>,
+}
+
+impl ActiveSet {
+    /// The "everything is active" state used before the first round.
+    pub fn all_active() -> Self {
+        Self {
+            initialized: false,
+            tuples: Vec::new(),
+        }
+    }
+
+    /// An initialized active set with the given group code tuples.
+    pub fn of(tuples: Vec<Vec<u32>>) -> Self {
+        Self {
+            initialized: true,
+            tuples,
+        }
+    }
+
+    /// Whether no group is active (only meaningful once initialized).
+    pub fn is_empty(&self) -> bool {
+        self.initialized && self.tuples.is_empty()
+    }
+}
+
+/// Immutable per-query context needed to make block decisions.
+pub struct PlanContext<'a> {
+    /// Bitmap indexes of the GROUP BY columns, in query order (only columns
+    /// that have an index; columns without one are treated as "always
+    /// present", which is conservative).
+    pub group_indexes: Vec<Option<&'a BlockBitmapIndex>>,
+    /// Bitmap index and code for a categorical equality predicate, if the
+    /// query has one on an indexed column.
+    pub predicate_index: Option<(&'a BlockBitmapIndex, u32)>,
+    /// Whether group-level (active-scanning) skipping is enabled.
+    pub use_active_skipping: bool,
+}
+
+impl<'a> PlanContext<'a> {
+    /// Builds the planning context for a query over `scramble`.
+    ///
+    /// `group_columns` are the GROUP BY column names; `predicate_eq` is the
+    /// `(column, code)` of a categorical equality predicate if one exists.
+    pub fn new(
+        scramble: &'a Scramble,
+        group_columns: &[String],
+        predicate_eq: Option<(String, u32)>,
+        strategy: SamplingStrategy,
+    ) -> Self {
+        let group_indexes = group_columns
+            .iter()
+            .map(|c| scramble.bitmap_index(c))
+            .collect();
+        let predicate_index = predicate_eq
+            .and_then(|(col, code)| scramble.bitmap_index(&col).map(|idx| (idx, code)));
+        Self {
+            group_indexes,
+            predicate_index,
+            use_active_skipping: matches!(
+                strategy,
+                SamplingStrategy::ActiveSync | SamplingStrategy::ActivePeek
+            ),
+        }
+    }
+
+    /// Decides whether `block` must be fetched given the current active set.
+    /// Also returns the number of bitmap probes performed.
+    pub fn block_decision(&self, block: BlockId, active: &ActiveSet) -> (bool, u64) {
+        let mut checks = 0u64;
+
+        // Predicate-level skipping applies to every strategy.
+        if let Some((idx, code)) = self.predicate_index {
+            checks += 1;
+            if !idx.block_contains(code, block) {
+                return (false, checks);
+            }
+        }
+
+        if !self.use_active_skipping || !active.initialized {
+            return (true, checks);
+        }
+        if active.tuples.is_empty() {
+            // Stopping condition met; no block needs fetching.
+            return (false, checks);
+        }
+        // Fetch if some active group could have rows in this block: for every
+        // indexed GROUP BY column, the group's code must appear in the block.
+        // Columns without an index cannot rule the group out (conservative).
+        for tuple in &active.tuples {
+            let mut possible = true;
+            for (col, code) in self.group_indexes.iter().zip(tuple) {
+                if let Some(idx) = col {
+                    checks += 1;
+                    if !idx.block_contains(*code, block) {
+                        possible = false;
+                        break;
+                    }
+                }
+            }
+            if possible {
+                return (true, checks);
+            }
+        }
+        (false, checks)
+    }
+}
+
+/// Plans a batch of blocks: returns a fetch/skip decision per block plus the
+/// total number of bitmap probes performed.
+pub fn plan_batch(ctx: &PlanContext<'_>, blocks: &[BlockId], active: &ActiveSet) -> (Vec<bool>, u64) {
+    let mut decisions = Vec::with_capacity(blocks.len());
+    let mut checks = 0u64;
+    for &b in blocks {
+        let (fetch, c) = ctx.block_decision(b, active);
+        decisions.push(fetch);
+        checks += c;
+    }
+    (decisions, checks)
+}
+
+/// Request sent to the lookahead worker: a batch of blocks plus the active
+/// set current at request time.
+struct PeekRequest {
+    blocks: Vec<BlockId>,
+    active: ActiveSet,
+}
+
+/// Response from the lookahead worker.
+struct PeekResponse {
+    decisions: Vec<bool>,
+    checks: u64,
+}
+
+/// Double-buffered lookahead planner for `ActivePeek`.
+///
+/// The planner issues the bitmap probes for the *next* batch on a worker
+/// thread while the executor processes the current batch, mirroring the async
+/// lookahead design of §4.3. Decisions for a batch are therefore based on the
+/// active set as of one batch earlier, which is conservative: a group that
+/// became inactive in the meantime only causes extra fetches, never missed
+/// ones.
+pub struct PeekPlanner {
+    request_tx: Sender<PeekRequest>,
+    response_rx: Receiver<PeekResponse>,
+    pending: bool,
+}
+
+impl PeekPlanner {
+    /// Creates the planner and hands back the worker closure that must be run
+    /// on a (scoped) thread. Splitting construction this way lets the caller
+    /// own the thread scope while the planner stays a plain value.
+    pub fn new(ctx: PlanContext<'_>) -> (Self, impl FnOnce() + Send + '_) {
+        let (request_tx, request_rx) = bounded::<PeekRequest>(2);
+        let (response_tx, response_rx) = bounded::<PeekResponse>(2);
+        let worker = move || {
+            while let Ok(req) = request_rx.recv() {
+                let (decisions, checks) = plan_batch(&ctx, &req.blocks, &req.active);
+                if response_tx.send(PeekResponse { decisions, checks }).is_err() {
+                    break;
+                }
+            }
+        };
+        (
+            Self {
+                request_tx,
+                response_rx,
+                pending: false,
+            },
+            worker,
+        )
+    }
+
+    /// Requests planning of the next batch with the current active set.
+    pub fn prefetch(&mut self, blocks: &[BlockId], active: &ActiveSet) {
+        if blocks.is_empty() {
+            return;
+        }
+        let req = PeekRequest {
+            blocks: blocks.to_vec(),
+            active: active.clone(),
+        };
+        if self.request_tx.send(req).is_ok() {
+            self.pending = true;
+        }
+    }
+
+    /// Retrieves the decisions for the batch most recently prefetched.
+    /// Returns `None` if no prefetch is outstanding (caller should plan
+    /// synchronously).
+    pub fn collect(&mut self) -> Option<(Vec<bool>, u64)> {
+        if !self.pending {
+            return None;
+        }
+        self.pending = false;
+        self.response_rx
+            .recv()
+            .ok()
+            .map(|resp| (resp.decisions, resp.checks))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastframe_store::column::Column;
+    use fastframe_store::table::Table;
+
+    /// 200 rows, block size 25 → 8 blocks. Group column `g` has value "hot"
+    /// only in rows 0..25 of the *original* table; after scrambling it is
+    /// spread around, so we locate its blocks via the index itself and then
+    /// cross-check decisions.
+    fn scramble() -> Scramble {
+        let groups: Vec<String> = (0..200)
+            .map(|i| if i < 25 { "hot".to_string() } else { format!("g{}", i % 5) })
+            .collect();
+        let preds: Vec<String> = (0..200)
+            .map(|i| if i % 2 == 0 { "yes".to_string() } else { "no".to_string() })
+            .collect();
+        let t = Table::new(vec![
+            Column::float("x", (0..200).map(|i| i as f64).collect()),
+            Column::categorical("g", &groups),
+            Column::categorical("p", &preds),
+        ])
+        .unwrap();
+        Scramble::build_with(&t, 99, 25, 0.0).unwrap()
+    }
+
+    #[test]
+    fn scan_strategy_only_uses_predicate_index() {
+        let s = scramble();
+        let g_code = s.table().column("g").unwrap().code_of("hot").unwrap();
+        let ctx = PlanContext::new(&s, &["g".to_string()], None, SamplingStrategy::Scan);
+        // Even with an "initialized" active set that excludes everything,
+        // Scan fetches every block.
+        let active = ActiveSet::of(vec![]);
+        let blocks: Vec<BlockId> = (0..s.num_blocks()).map(BlockId).collect();
+        let (decisions, _) = plan_batch(&ctx, &blocks, &active);
+        assert!(decisions.iter().all(|&d| d));
+        // Unused but exercised: the group bitmap exists.
+        assert!(s.bitmap_index("g").unwrap().num_values() > 0);
+        let _ = g_code;
+    }
+
+    #[test]
+    fn predicate_skipping_applies_to_all_strategies() {
+        let s = scramble();
+        let p_code = s.table().column("p").unwrap().code_of("yes").unwrap();
+        for strategy in SamplingStrategy::ALL {
+            let ctx = PlanContext::new(
+                &s,
+                &[],
+                Some(("p".to_string(), p_code)),
+                strategy,
+            );
+            let blocks: Vec<BlockId> = (0..s.num_blocks()).map(BlockId).collect();
+            let (decisions, checks) = plan_batch(&ctx, &blocks, &ActiveSet::all_active());
+            // "yes" appears in every block with overwhelming probability
+            // (100 rows spread over 8 blocks); verify agreement with the
+            // index rather than assuming.
+            let idx = s.bitmap_index("p").unwrap();
+            for (i, d) in decisions.iter().enumerate() {
+                assert_eq!(*d, idx.block_contains(p_code, BlockId(i)));
+            }
+            assert!(checks >= blocks.len() as u64);
+        }
+    }
+
+    #[test]
+    fn active_skipping_matches_bitmap_membership() {
+        let s = scramble();
+        let hot = s.table().column("g").unwrap().code_of("hot").unwrap();
+        let ctx = PlanContext::new(&s, &["g".to_string()], None, SamplingStrategy::ActiveSync);
+        let active = ActiveSet::of(vec![vec![hot]]);
+        let blocks: Vec<BlockId> = (0..s.num_blocks()).map(BlockId).collect();
+        let (decisions, _) = plan_batch(&ctx, &blocks, &active);
+        let idx = s.bitmap_index("g").unwrap();
+        for (i, d) in decisions.iter().enumerate() {
+            assert_eq!(*d, idx.block_contains(hot, BlockId(i)));
+        }
+        // At least one block must be skippable (hot rows occupy only 25 of
+        // 200 rows, so they can cover at most 25 blocks... with 8 blocks they
+        // may cover all; check via the index count instead).
+        let covered = (0..s.num_blocks())
+            .filter(|&i| idx.block_contains(hot, BlockId(i)))
+            .count();
+        assert_eq!(decisions.iter().filter(|&&d| d).count(), covered);
+    }
+
+    #[test]
+    fn uninitialized_active_set_fetches_everything() {
+        let s = scramble();
+        let ctx = PlanContext::new(&s, &["g".to_string()], None, SamplingStrategy::ActivePeek);
+        let blocks: Vec<BlockId> = (0..s.num_blocks()).map(BlockId).collect();
+        let (decisions, _) = plan_batch(&ctx, &blocks, &ActiveSet::all_active());
+        assert!(decisions.iter().all(|&d| d));
+    }
+
+    #[test]
+    fn empty_active_set_skips_everything() {
+        let s = scramble();
+        let ctx = PlanContext::new(&s, &["g".to_string()], None, SamplingStrategy::ActiveSync);
+        let blocks: Vec<BlockId> = (0..s.num_blocks()).map(BlockId).collect();
+        let (decisions, _) = plan_batch(&ctx, &blocks, &ActiveSet::of(vec![]));
+        assert!(decisions.iter().all(|&d| !d));
+        assert!(ActiveSet::of(vec![]).is_empty());
+        assert!(!ActiveSet::all_active().is_empty());
+    }
+
+    #[test]
+    fn multi_column_groups_require_all_codes_present() {
+        // Build a table where group columns c1/c2 are perfectly correlated
+        // with row ranges, so some blocks contain c1's code but not c2's.
+        let c1: Vec<String> = (0..100).map(|i| format!("a{}", i / 50)).collect();
+        let c2: Vec<String> = (0..100).map(|i| format!("b{}", i / 25)).collect();
+        let t = Table::new(vec![
+            Column::float("x", (0..100).map(|i| i as f64).collect()),
+            Column::categorical("c1", &c1),
+            Column::categorical("c2", &c2),
+        ])
+        .unwrap();
+        // Identity-ish scramble not guaranteed; use the index to cross-check.
+        let s = Scramble::build_with(&t, 5, 10, 0.0).unwrap();
+        let code_a0 = s.table().column("c1").unwrap().code_of("a0").unwrap();
+        let code_b3 = s.table().column("c2").unwrap().code_of("b3").unwrap();
+        let ctx = PlanContext::new(
+            &s,
+            &["c1".to_string(), "c2".to_string()],
+            None,
+            SamplingStrategy::ActiveSync,
+        );
+        // Group (a0, b3) does not exist in the data (a0 covers rows 0..50,
+        // b3 covers rows 75..100), but the planner only knows per-column
+        // membership; a block is fetched only if both codes appear in it.
+        let active = ActiveSet::of(vec![vec![code_a0, code_b3]]);
+        let blocks: Vec<BlockId> = (0..s.num_blocks()).map(BlockId).collect();
+        let (decisions, _) = plan_batch(&ctx, &blocks, &active);
+        let idx1 = s.bitmap_index("c1").unwrap();
+        let idx2 = s.bitmap_index("c2").unwrap();
+        for (i, d) in decisions.iter().enumerate() {
+            let expected = idx1.block_contains(code_a0, BlockId(i))
+                && idx2.block_contains(code_b3, BlockId(i));
+            assert_eq!(*d, expected);
+        }
+    }
+
+    #[test]
+    fn peek_planner_produces_same_decisions_as_sync() {
+        let s = scramble();
+        let hot = s.table().column("g").unwrap().code_of("hot").unwrap();
+        let blocks: Vec<BlockId> = (0..s.num_blocks()).map(BlockId).collect();
+        let active = ActiveSet::of(vec![vec![hot]]);
+
+        let sync_ctx = PlanContext::new(&s, &["g".to_string()], None, SamplingStrategy::ActiveSync);
+        let (expected, _) = plan_batch(&sync_ctx, &blocks, &active);
+
+        let peek_ctx = PlanContext::new(&s, &["g".to_string()], None, SamplingStrategy::ActivePeek);
+        let (mut planner, worker) = PeekPlanner::new(peek_ctx);
+        std::thread::scope(|scope| {
+            scope.spawn(worker);
+            planner.prefetch(&blocks, &active);
+            let (decisions, checks) = planner.collect().expect("prefetch was issued");
+            assert_eq!(decisions, expected);
+            assert!(checks > 0);
+            // No outstanding prefetch → None.
+            assert!(planner.collect().is_none());
+            drop(planner);
+        });
+    }
+}

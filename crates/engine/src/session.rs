@@ -1,0 +1,130 @@
+//! The FastFrame session: the user-facing entry point tying together the
+//! scramble, the approximate executor and the exact baseline.
+
+use fastframe_store::scramble::Scramble;
+use fastframe_store::table::{StoreResult, Table};
+
+use crate::config::EngineConfig;
+use crate::error::EngineResult;
+use crate::exact::execute_exact;
+use crate::executor::execute_approx;
+use crate::query::AggQuery;
+use crate::result::QueryResult;
+
+/// An in-memory FastFrame instance over one table.
+///
+/// ```
+/// use fastframe_engine::prelude::*;
+/// use fastframe_store::prelude::*;
+///
+/// let table = Table::new(vec![
+///     Column::float("delay", (0..1000).map(|i| (i % 30) as f64).collect()),
+///     Column::categorical("airline", &(0..1000).map(|i| format!("A{}", i % 3)).collect::<Vec<_>>()),
+/// ]).unwrap();
+/// let frame = FastFrame::from_table(&table, 42).unwrap();
+///
+/// let query = AggQuery::avg("demo", Expr::col("delay"))
+///     .group_by("airline")
+///     .having_gt(10.0)
+///     .build();
+/// let result = frame.execute(&query, &EngineConfig::default()).unwrap();
+/// assert_eq!(result.groups.len(), 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FastFrame {
+    scramble: Scramble,
+}
+
+impl FastFrame {
+    /// Builds a FastFrame instance by scrambling `table` with the given seed
+    /// (paper defaults: 25-row blocks, exact catalog ranges).
+    pub fn from_table(table: &Table, seed: u64) -> StoreResult<Self> {
+        Ok(Self {
+            scramble: Scramble::build(table, seed)?,
+        })
+    }
+
+    /// Builds a FastFrame instance with explicit block size and catalog range
+    /// slack.
+    pub fn from_table_with(
+        table: &Table,
+        seed: u64,
+        block_size: usize,
+        range_slack: f64,
+    ) -> StoreResult<Self> {
+        Ok(Self {
+            scramble: Scramble::build_with(table, seed, block_size, range_slack)?,
+        })
+    }
+
+    /// Wraps an existing scramble.
+    pub fn from_scramble(scramble: Scramble) -> Self {
+        Self { scramble }
+    }
+
+    /// The underlying scramble.
+    pub fn scramble(&self) -> &Scramble {
+        &self.scramble
+    }
+
+    /// Executes `query` approximately with early stopping.
+    pub fn execute(&self, query: &AggQuery, config: &EngineConfig) -> EngineResult<QueryResult> {
+        execute_approx(&self.scramble, query, config)
+    }
+
+    /// Executes `query` exactly (the `Exact` baseline).
+    pub fn execute_exact(&self, query: &AggQuery) -> EngineResult<QueryResult> {
+        execute_exact(&self.scramble, query)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastframe_core::bounder::BounderKind;
+    use fastframe_store::column::Column;
+    use fastframe_store::expr::Expr;
+
+    fn table() -> Table {
+        let n = 5_000usize;
+        Table::new(vec![
+            Column::float("delay", (0..n).map(|i| (i % 3) as f64 * 10.0).collect()),
+            Column::categorical(
+                "airline",
+                &(0..n).map(|i| format!("A{}", i % 3)).collect::<Vec<_>>(),
+            ),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn approximate_and_exact_selections_agree() {
+        let t = table();
+        let frame = FastFrame::from_table(&t, 99).unwrap();
+        let q = AggQuery::avg("q", Expr::col("delay"))
+            .group_by("airline")
+            .having_gt(5.0)
+            .build();
+        let cfg = EngineConfig::with_bounder(BounderKind::BernsteinRangeTrim)
+            .delta(1e-9)
+            .round_rows(1_000)
+            .start_block(0);
+        let approx = frame.execute(&q, &cfg).unwrap();
+        let exact = frame.execute_exact(&q).unwrap();
+        let mut a = approx.selected_labels();
+        let mut e = exact.selected_labels();
+        a.sort();
+        e.sort();
+        assert_eq!(a, e);
+        assert!(approx.metrics.blocks_fetched() <= exact.metrics.blocks_fetched());
+    }
+
+    #[test]
+    fn from_table_with_custom_block_size() {
+        let t = table();
+        let frame = FastFrame::from_table_with(&t, 1, 100, 0.05).unwrap();
+        assert_eq!(frame.scramble().layout().block_size(), 100);
+        let frame2 = FastFrame::from_scramble(frame.scramble().clone());
+        assert_eq!(frame2.scramble().num_rows(), 5_000);
+    }
+}

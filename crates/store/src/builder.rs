@@ -1,0 +1,195 @@
+//! Row-oriented table construction helper.
+//!
+//! Workload generators produce rows one at a time; [`TableBuilder`]
+//! accumulates them column-wise and produces an immutable [`Table`].
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::column::{Column, DataType};
+use crate::table::{StoreResult, Table};
+
+enum PendingColumn {
+    Float(Vec<f64>),
+    Int(Vec<i64>),
+    Categorical {
+        dictionary: Vec<String>,
+        lookup: HashMap<String, u32>,
+        codes: Vec<u32>,
+    },
+}
+
+impl PendingColumn {
+    fn len(&self) -> usize {
+        match self {
+            PendingColumn::Float(v) => v.len(),
+            PendingColumn::Int(v) => v.len(),
+            PendingColumn::Categorical { codes, .. } => codes.len(),
+        }
+    }
+}
+
+/// Incrementally builds a [`Table`] column by column, row by row.
+pub struct TableBuilder {
+    names: Vec<String>,
+    columns: Vec<PendingColumn>,
+}
+
+impl TableBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self {
+            names: Vec::new(),
+            columns: Vec::new(),
+        }
+    }
+
+    /// Declares a column of the given type. Columns must be declared before
+    /// any rows are appended.
+    pub fn add_column(&mut self, name: impl Into<String>, data_type: DataType) -> &mut Self {
+        self.names.push(name.into());
+        self.columns.push(match data_type {
+            DataType::Float64 => PendingColumn::Float(Vec::new()),
+            DataType::Int64 => PendingColumn::Int(Vec::new()),
+            DataType::Categorical => PendingColumn::Categorical {
+                dictionary: Vec::new(),
+                lookup: HashMap::new(),
+                codes: Vec::new(),
+            },
+        });
+        self
+    }
+
+    /// Reserves capacity for `rows` additional rows in every column.
+    pub fn reserve(&mut self, rows: usize) {
+        for c in &mut self.columns {
+            match c {
+                PendingColumn::Float(v) => v.reserve(rows),
+                PendingColumn::Int(v) => v.reserve(rows),
+                PendingColumn::Categorical { codes, .. } => codes.reserve(rows),
+            }
+        }
+    }
+
+    /// Appends a float value to the column at `index`.
+    pub fn push_float(&mut self, index: usize, value: f64) {
+        match &mut self.columns[index] {
+            PendingColumn::Float(v) => v.push(value),
+            _ => panic!("column {index} is not a float column"),
+        }
+    }
+
+    /// Appends an integer value to the column at `index`.
+    pub fn push_int(&mut self, index: usize, value: i64) {
+        match &mut self.columns[index] {
+            PendingColumn::Int(v) => v.push(value),
+            _ => panic!("column {index} is not an int column"),
+        }
+    }
+
+    /// Appends a categorical value to the column at `index`.
+    pub fn push_str(&mut self, index: usize, value: &str) {
+        match &mut self.columns[index] {
+            PendingColumn::Categorical {
+                dictionary,
+                lookup,
+                codes,
+            } => {
+                let code = match lookup.get(value) {
+                    Some(&c) => c,
+                    None => {
+                        let c = dictionary.len() as u32;
+                        dictionary.push(value.to_string());
+                        lookup.insert(value.to_string(), c);
+                        c
+                    }
+                };
+                codes.push(code);
+            }
+            _ => panic!("column {index} is not a categorical column"),
+        }
+    }
+
+    /// Number of complete rows appended so far (the minimum column length).
+    pub fn rows(&self) -> usize {
+        self.columns.iter().map(PendingColumn::len).min().unwrap_or(0)
+    }
+
+    /// Finalizes the builder into an immutable [`Table`].
+    pub fn build(self) -> StoreResult<Table> {
+        let columns = self
+            .names
+            .into_iter()
+            .zip(self.columns)
+            .map(|(name, pending)| match pending {
+                PendingColumn::Float(v) => Column::float(name, v),
+                PendingColumn::Int(v) => Column::int(name, v),
+                PendingColumn::Categorical {
+                    dictionary, codes, ..
+                } => Column::categorical_from_codes(name, Arc::new(dictionary), codes),
+            })
+            .collect();
+        Table::new(columns)
+    }
+}
+
+impl Default for TableBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::Value;
+
+    #[test]
+    fn builds_mixed_table() {
+        let mut b = TableBuilder::new();
+        b.add_column("delay", DataType::Float64)
+            .add_column("airline", DataType::Categorical)
+            .add_column("dep_time", DataType::Int64);
+        b.reserve(3);
+        for (d, a, t) in [(5.0, "UA", 900i64), (-1.0, "AA", 1230), (9.5, "UA", 2100)] {
+            b.push_float(0, d);
+            b.push_str(1, a);
+            b.push_int(2, t);
+        }
+        assert_eq!(b.rows(), 3);
+        let table = b.build().unwrap();
+        assert_eq!(table.num_rows(), 3);
+        assert_eq!(table.value("airline", 2).unwrap(), Some(Value::Str("UA".into())));
+        assert_eq!(table.column("airline").unwrap().cardinality(), Some(2));
+        assert_eq!(table.value("dep_time", 1).unwrap(), Some(Value::Int(1230)));
+    }
+
+    #[test]
+    #[should_panic(expected = "not a float column")]
+    fn pushing_wrong_type_panics() {
+        let mut b = TableBuilder::new();
+        b.add_column("airline", DataType::Categorical);
+        b.push_float(0, 1.0);
+    }
+
+    #[test]
+    fn empty_builder_builds_empty_table() {
+        let table = TableBuilder::new().build().unwrap();
+        assert_eq!(table.num_rows(), 0);
+    }
+
+    #[test]
+    fn dictionary_codes_are_stable() {
+        let mut b = TableBuilder::new();
+        b.add_column("c", DataType::Categorical);
+        for v in ["x", "y", "x", "z", "y", "x"] {
+            b.push_str(0, v);
+        }
+        let t = b.build().unwrap();
+        let col = t.column("c").unwrap();
+        assert_eq!(col.cardinality(), Some(3));
+        assert_eq!(col.category_code(0), col.category_code(2));
+        assert_eq!(col.category_code(0), col.category_code(5));
+        assert_eq!(col.category_code(1), col.category_code(4));
+    }
+}

@@ -1,0 +1,172 @@
+//! The catalog: per-column statistics gathered at load time.
+//!
+//! §2.2.1: "we assume that the database catalog maintains range bounds `a`
+//! and `b` for the MIN and MAX of each continuous column, inferred, for
+//! example, during data loading." The catalog here records exactly that for
+//! numeric columns (optionally widened by a caller-supplied slack so that
+//! `[a, b] ⊇ [MIN, MAX]` strictly), and the dictionary cardinality for
+//! categorical columns.
+
+use std::collections::HashMap;
+
+use crate::column::DataType;
+use crate::table::{StoreError, StoreResult, Table};
+
+/// Statistics recorded for one column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnStats {
+    /// Column name.
+    pub name: String,
+    /// Column type.
+    pub data_type: DataType,
+    /// Number of rows.
+    pub rows: usize,
+    /// Range lower bound `a` (numeric columns only).
+    pub min: Option<f64>,
+    /// Range upper bound `b` (numeric columns only).
+    pub max: Option<f64>,
+    /// Number of distinct values (categorical columns only).
+    pub cardinality: Option<usize>,
+}
+
+/// The table catalog: column statistics keyed by column name.
+#[derive(Debug, Clone, Default)]
+pub struct Catalog {
+    columns: HashMap<String, ColumnStats>,
+}
+
+impl Catalog {
+    /// Builds a catalog by scanning every column of `table` once.
+    ///
+    /// `range_slack` widens the recorded numeric ranges by the given
+    /// *fraction* of the observed width on both sides (e.g. `0.0` records the
+    /// exact `[MIN, MAX]`; `0.05` records a 5% wider interval). The paper
+    /// only requires `[a, b] ⊇ [MIN, MAX]`, so any non-negative slack is
+    /// valid.
+    pub fn build(table: &Table, range_slack: f64) -> Self {
+        assert!(range_slack >= 0.0, "range slack must be non-negative");
+        let mut columns = HashMap::new();
+        for c in table.columns() {
+            let (min, max) = match c.numeric_min_max() {
+                Some((lo, hi)) => {
+                    let pad = (hi - lo) * range_slack;
+                    (Some(lo - pad), Some(hi + pad))
+                }
+                None => (None, None),
+            };
+            columns.insert(
+                c.name().to_string(),
+                ColumnStats {
+                    name: c.name().to_string(),
+                    data_type: c.data_type(),
+                    rows: c.len(),
+                    min,
+                    max,
+                    cardinality: c.cardinality(),
+                },
+            );
+        }
+        Self { columns }
+    }
+
+    /// Statistics for one column.
+    pub fn column(&self, name: &str) -> StoreResult<&ColumnStats> {
+        self.columns.get(name).ok_or_else(|| StoreError::UnknownColumn {
+            name: name.to_string(),
+        })
+    }
+
+    /// The `[a, b]` range bounds of a numeric column.
+    pub fn range_bounds(&self, name: &str) -> StoreResult<(f64, f64)> {
+        let stats = self.column(name)?;
+        match (stats.min, stats.max) {
+            (Some(a), Some(b)) => Ok((a, b)),
+            _ => Err(StoreError::TypeMismatch {
+                name: name.to_string(),
+                expected: "numeric",
+                actual: stats.data_type,
+            }),
+        }
+    }
+
+    /// Number of columns described by the catalog.
+    pub fn len(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Whether the catalog is empty.
+    pub fn is_empty(&self) -> bool {
+        self.columns.is_empty()
+    }
+
+    /// Iterates over all column statistics (unordered).
+    pub fn iter(&self) -> impl Iterator<Item = &ColumnStats> {
+        self.columns.values()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::Column;
+
+    fn table() -> Table {
+        Table::new(vec![
+            Column::float("delay", vec![-10.0, 5.0, 40.0, 0.0]),
+            Column::categorical("airline", &["UA", "AA", "UA", "DL"]),
+            Column::int("dep_time", vec![600, 900, 1200, 2300]),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn records_ranges_and_cardinalities() {
+        let cat = Catalog::build(&table(), 0.0);
+        assert_eq!(cat.len(), 3);
+        assert!(!cat.is_empty());
+        assert_eq!(cat.range_bounds("delay").unwrap(), (-10.0, 40.0));
+        assert_eq!(cat.range_bounds("dep_time").unwrap(), (600.0, 2300.0));
+        let airline = cat.column("airline").unwrap();
+        assert_eq!(airline.cardinality, Some(3));
+        assert_eq!(airline.min, None);
+        assert_eq!(airline.data_type, DataType::Categorical);
+    }
+
+    #[test]
+    fn range_slack_widens_bounds() {
+        let cat = Catalog::build(&table(), 0.1);
+        let (a, b) = cat.range_bounds("delay").unwrap();
+        assert!(a < -10.0 && b > 40.0);
+        assert!((a - (-15.0)).abs() < 1e-9);
+        assert!((b - 45.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unknown_and_non_numeric_columns_error() {
+        let cat = Catalog::build(&table(), 0.0);
+        assert!(matches!(
+            cat.column("missing"),
+            Err(StoreError::UnknownColumn { .. })
+        ));
+        assert!(matches!(
+            cat.range_bounds("airline"),
+            Err(StoreError::TypeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn iter_visits_every_column() {
+        let cat = Catalog::build(&table(), 0.0);
+        let names: Vec<_> = cat.iter().map(|s| s.name.clone()).collect();
+        assert_eq!(names.len(), 3);
+        for n in ["delay", "airline", "dep_time"] {
+            assert!(names.iter().any(|x| x == n));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_slack_panics() {
+        Catalog::build(&table(), -0.1);
+    }
+}

@@ -1,0 +1,260 @@
+//! A minimal CSV loader for the column store.
+//!
+//! FastFrame is an in-memory engine; real deployments would sit behind a
+//! proper ingest path, but being able to load a comma-separated file makes
+//! the library usable on ad-hoc data (and is what the CLI's `load` command
+//! uses). The loader is deliberately simple: the first line is the header,
+//! fields are comma-separated with optional double-quoting, and column types
+//! are inferred from the first data row (integer → `Int64`, other numeric →
+//! `Float64`, anything else → `Categorical`). A column can be forced to a
+//! specific type via [`CsvOptions::override_type`].
+
+use std::collections::HashMap;
+use std::io::BufRead;
+use std::path::Path;
+
+use crate::builder::TableBuilder;
+use crate::column::DataType;
+use crate::table::{StoreError, StoreResult, Table};
+
+/// Options controlling CSV parsing.
+#[derive(Debug, Clone, Default)]
+pub struct CsvOptions {
+    /// Explicit type overrides by column name (wins over inference).
+    pub type_overrides: HashMap<String, DataType>,
+    /// Maximum number of data rows to load (`None` = all).
+    pub limit: Option<usize>,
+}
+
+impl CsvOptions {
+    /// Creates default options (full file, inferred types).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Forces a column to a specific type.
+    pub fn override_type(mut self, column: impl Into<String>, data_type: DataType) -> Self {
+        self.type_overrides.insert(column.into(), data_type);
+        self
+    }
+
+    /// Limits the number of data rows loaded.
+    pub fn limit(mut self, rows: usize) -> Self {
+        self.limit = Some(rows);
+        self
+    }
+}
+
+/// Splits one CSV line into fields, honouring double quotes (with `""` as an
+/// escaped quote inside a quoted field).
+fn split_csv_line(line: &str) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut field = String::new();
+    let mut chars = line.chars().peekable();
+    let mut in_quotes = false;
+    while let Some(c) = chars.next() {
+        match c {
+            '"' if in_quotes => {
+                if chars.peek() == Some(&'"') {
+                    field.push('"');
+                    chars.next();
+                } else {
+                    in_quotes = false;
+                }
+            }
+            '"' => in_quotes = true,
+            ',' if !in_quotes => {
+                fields.push(std::mem::take(&mut field));
+            }
+            _ => field.push(c),
+        }
+    }
+    fields.push(field);
+    fields
+}
+
+fn infer_type(value: &str) -> DataType {
+    let trimmed = value.trim();
+    if trimmed.parse::<i64>().is_ok() {
+        DataType::Int64
+    } else if trimmed.parse::<f64>().is_ok() {
+        DataType::Float64
+    } else {
+        DataType::Categorical
+    }
+}
+
+/// Loads a table from any buffered reader producing CSV text.
+pub fn read_csv<R: BufRead>(reader: R, options: &CsvOptions) -> StoreResult<Table> {
+    let mut lines = reader.lines();
+    let header = match lines.next() {
+        Some(Ok(line)) => line,
+        _ => return Err(StoreError::EmptyTable),
+    };
+    let names = split_csv_line(&header);
+
+    let mut builder = TableBuilder::new();
+    let mut types: Vec<Option<DataType>> = names
+        .iter()
+        .map(|n| options.type_overrides.get(n.trim()).copied())
+        .collect();
+    let mut pending_rows: Vec<Vec<String>> = Vec::new();
+    let mut builder_initialized = false;
+    let mut loaded = 0usize;
+
+    let mut push_row = |builder: &mut TableBuilder, types: &[Option<DataType>], fields: &[String]| {
+        for (i, t) in types.iter().enumerate() {
+            let raw = fields.get(i).map(String::as_str).unwrap_or("").trim();
+            match t.expect("types resolved before pushing") {
+                DataType::Float64 => builder.push_float(i, raw.parse().unwrap_or(f64::NAN)),
+                DataType::Int64 => builder.push_int(i, raw.parse().unwrap_or(0)),
+                DataType::Categorical => builder.push_str(i, raw),
+            }
+        }
+    };
+
+    for line in lines {
+        let line = line.map_err(|_| StoreError::EmptyTable)?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        if let Some(limit) = options.limit {
+            if loaded >= limit {
+                break;
+            }
+        }
+        let fields = split_csv_line(&line);
+        if !builder_initialized {
+            // Resolve the still-unknown types from this first data row, then
+            // declare the columns.
+            for (i, t) in types.iter_mut().enumerate() {
+                if t.is_none() {
+                    *t = Some(infer_type(fields.get(i).map(String::as_str).unwrap_or("")));
+                }
+            }
+            for (name, t) in names.iter().zip(&types) {
+                builder.add_column(name.trim(), t.expect("just resolved"));
+            }
+            builder_initialized = true;
+            for row in pending_rows.drain(..) {
+                push_row(&mut builder, &types, &row);
+            }
+        }
+        push_row(&mut builder, &types, &fields);
+        loaded += 1;
+    }
+
+    if !builder_initialized {
+        return Err(StoreError::EmptyTable);
+    }
+    builder.build()
+}
+
+/// Loads a table from a CSV file on disk.
+pub fn read_csv_file(path: impl AsRef<Path>, options: &CsvOptions) -> StoreResult<Table> {
+    let file = std::fs::File::open(path.as_ref()).map_err(|_| StoreError::EmptyTable)?;
+    read_csv(std::io::BufReader::new(file), options)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::Value;
+
+    fn sample_csv() -> &'static str {
+        "origin,airline,delay,dep_time\n\
+         ORD,UA,5.5,930\n\
+         ATL,DL,-2.0,1210\n\
+         \"O'HARE, CHICAGO\",UA,12.25,1815\n\
+         ORD,\"AA\",0.0,600\n"
+    }
+
+    #[test]
+    fn loads_and_infers_types() {
+        let t = read_csv(sample_csv().as_bytes(), &CsvOptions::new()).unwrap();
+        assert_eq!(t.num_rows(), 4);
+        assert_eq!(t.num_columns(), 4);
+        assert_eq!(t.column("origin").unwrap().data_type(), DataType::Categorical);
+        assert_eq!(t.column("airline").unwrap().data_type(), DataType::Categorical);
+        assert_eq!(t.column("delay").unwrap().data_type(), DataType::Float64);
+        assert_eq!(t.column("dep_time").unwrap().data_type(), DataType::Int64);
+        assert_eq!(t.value("delay", 2).unwrap(), Some(Value::Float(12.25)));
+        assert_eq!(
+            t.value("origin", 2).unwrap(),
+            Some(Value::Str("O'HARE, CHICAGO".to_string()))
+        );
+        assert_eq!(t.value("dep_time", 3).unwrap(), Some(Value::Int(600)));
+    }
+
+    #[test]
+    fn quoted_fields_and_escaped_quotes() {
+        let csv = "name,score\n\"say \"\"hi\"\"\",3\nplain,4\n";
+        let t = read_csv(csv.as_bytes(), &CsvOptions::new()).unwrap();
+        assert_eq!(
+            t.value("name", 0).unwrap(),
+            Some(Value::Str("say \"hi\"".to_string()))
+        );
+        assert_eq!(t.value("score", 1).unwrap(), Some(Value::Int(4)));
+    }
+
+    #[test]
+    fn type_overrides_win_over_inference() {
+        // dep_time would be inferred Int64; force it to Float64, and force
+        // delay (numeric) to be Categorical.
+        let opts = CsvOptions::new()
+            .override_type("dep_time", DataType::Float64)
+            .override_type("delay", DataType::Categorical);
+        let t = read_csv(sample_csv().as_bytes(), &opts).unwrap();
+        assert_eq!(t.column("dep_time").unwrap().data_type(), DataType::Float64);
+        assert_eq!(t.column("delay").unwrap().data_type(), DataType::Categorical);
+        assert_eq!(t.value("delay", 0).unwrap(), Some(Value::Str("5.5".to_string())));
+    }
+
+    #[test]
+    fn limit_caps_loaded_rows() {
+        let t = read_csv(sample_csv().as_bytes(), &CsvOptions::new().limit(2)).unwrap();
+        assert_eq!(t.num_rows(), 2);
+    }
+
+    #[test]
+    fn empty_input_is_an_error() {
+        assert!(matches!(
+            read_csv("".as_bytes(), &CsvOptions::new()),
+            Err(StoreError::EmptyTable)
+        ));
+        assert!(matches!(
+            read_csv("a,b\n".as_bytes(), &CsvOptions::new()),
+            Err(StoreError::EmptyTable)
+        ));
+    }
+
+    #[test]
+    fn malformed_numerics_become_nan_or_zero() {
+        let csv = "x,y\n1.5,3\nnot_a_number,oops\n";
+        let t = read_csv(csv.as_bytes(), &CsvOptions::new()).unwrap();
+        assert_eq!(t.num_rows(), 2);
+        match t.value("x", 1).unwrap() {
+            Some(Value::Float(v)) => assert!(v.is_nan()),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(t.value("y", 1).unwrap(), Some(Value::Int(0)));
+    }
+
+    #[test]
+    fn blank_lines_are_skipped() {
+        let csv = "a\n1\n\n2\n";
+        let t = read_csv(csv.as_bytes(), &CsvOptions::new()).unwrap();
+        assert_eq!(t.num_rows(), 2);
+    }
+
+    #[test]
+    fn read_csv_file_round_trip() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("fastframe_csv_loader_test.csv");
+        std::fs::write(&path, sample_csv()).unwrap();
+        let t = read_csv_file(&path, &CsvOptions::new()).unwrap();
+        assert_eq!(t.num_rows(), 4);
+        std::fs::remove_file(&path).ok();
+        assert!(read_csv_file(dir.join("does_not_exist.csv"), &CsvOptions::new()).is_err());
+    }
+}

@@ -1,0 +1,337 @@
+//! Query predicates (WHERE clauses) over tables.
+//!
+//! The Flights queries of Figure 5 filter on categorical equality
+//! (`Origin = 'ORD'`, `Airline = 'HP'`) and numeric comparisons
+//! (`DepTime > $min_dep_time`); [`Predicate`] covers those plus boolean
+//! combinations. Predicates are *bound* against a concrete table before
+//! evaluation, resolving column names to indexes and categorical values to
+//! dictionary codes so that the per-row check is cheap.
+
+use crate::table::{StoreError, StoreResult, Table};
+
+/// An unbound (name-based) predicate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Predicate {
+    /// Always true (no WHERE clause).
+    True,
+    /// Categorical equality: `column = value`.
+    CatEq {
+        /// Categorical column name.
+        column: String,
+        /// Value to compare against.
+        value: String,
+    },
+    /// Numeric comparison `column > threshold` (strict).
+    NumGt {
+        /// Numeric column name.
+        column: String,
+        /// Threshold.
+        threshold: f64,
+    },
+    /// Numeric comparison `column < threshold` (strict).
+    NumLt {
+        /// Numeric column name.
+        column: String,
+        /// Threshold.
+        threshold: f64,
+    },
+    /// Numeric range `low <= column <= high` (inclusive).
+    NumBetween {
+        /// Numeric column name.
+        column: String,
+        /// Inclusive lower bound.
+        low: f64,
+        /// Inclusive upper bound.
+        high: f64,
+    },
+    /// Conjunction of sub-predicates.
+    And(Vec<Predicate>),
+    /// Disjunction of sub-predicates.
+    Or(Vec<Predicate>),
+    /// Negation of a sub-predicate.
+    Not(Box<Predicate>),
+}
+
+impl Predicate {
+    /// Convenience constructor for categorical equality.
+    pub fn cat_eq(column: impl Into<String>, value: impl Into<String>) -> Self {
+        Predicate::CatEq {
+            column: column.into(),
+            value: value.into(),
+        }
+    }
+
+    /// Convenience constructor for `column > threshold`.
+    pub fn num_gt(column: impl Into<String>, threshold: f64) -> Self {
+        Predicate::NumGt {
+            column: column.into(),
+            threshold,
+        }
+    }
+
+    /// Convenience constructor for `column < threshold`.
+    pub fn num_lt(column: impl Into<String>, threshold: f64) -> Self {
+        Predicate::NumLt {
+            column: column.into(),
+            threshold,
+        }
+    }
+
+    /// Binds the predicate against a table, resolving names and categorical
+    /// values.
+    pub fn bind(&self, table: &Table) -> StoreResult<BoundPredicate> {
+        Ok(match self {
+            Predicate::True => BoundPredicate::True,
+            Predicate::CatEq { column, value } => {
+                let col = table.categorical_column(column)?;
+                let code = col.code_of(value).ok_or_else(|| StoreError::UnknownCategory {
+                    column: column.clone(),
+                    value: value.clone(),
+                })?;
+                BoundPredicate::CatEq {
+                    column: table.column_index(column)?,
+                    code,
+                }
+            }
+            Predicate::NumGt { column, threshold } => {
+                table.numeric_column(column)?;
+                BoundPredicate::NumGt {
+                    column: table.column_index(column)?,
+                    threshold: *threshold,
+                }
+            }
+            Predicate::NumLt { column, threshold } => {
+                table.numeric_column(column)?;
+                BoundPredicate::NumLt {
+                    column: table.column_index(column)?,
+                    threshold: *threshold,
+                }
+            }
+            Predicate::NumBetween { column, low, high } => {
+                table.numeric_column(column)?;
+                BoundPredicate::NumBetween {
+                    column: table.column_index(column)?,
+                    low: *low,
+                    high: *high,
+                }
+            }
+            Predicate::And(children) => BoundPredicate::And(
+                children
+                    .iter()
+                    .map(|c| c.bind(table))
+                    .collect::<StoreResult<Vec<_>>>()?,
+            ),
+            Predicate::Or(children) => BoundPredicate::Or(
+                children
+                    .iter()
+                    .map(|c| c.bind(table))
+                    .collect::<StoreResult<Vec<_>>>()?,
+            ),
+            Predicate::Not(child) => BoundPredicate::Not(Box::new(child.bind(table)?)),
+        })
+    }
+
+    /// If the predicate is (a conjunction containing) a single categorical
+    /// equality, returns `(column, value)` — used by the engine to leverage
+    /// the bitmap index for predicate-based block skipping as well.
+    pub fn categorical_equality(&self) -> Option<(&str, &str)> {
+        match self {
+            Predicate::CatEq { column, value } => Some((column, value)),
+            Predicate::And(children) => {
+                children.iter().find_map(Predicate::categorical_equality)
+            }
+            _ => None,
+        }
+    }
+}
+
+/// A predicate bound to a concrete table (columns by index, categories by
+/// code) that can be evaluated per row.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BoundPredicate {
+    /// Always true.
+    True,
+    /// Categorical equality by dictionary code.
+    CatEq {
+        /// Column index.
+        column: usize,
+        /// Dictionary code to match.
+        code: u32,
+    },
+    /// `column > threshold`.
+    NumGt {
+        /// Column index.
+        column: usize,
+        /// Threshold.
+        threshold: f64,
+    },
+    /// `column < threshold`.
+    NumLt {
+        /// Column index.
+        column: usize,
+        /// Threshold.
+        threshold: f64,
+    },
+    /// `low <= column <= high`.
+    NumBetween {
+        /// Column index.
+        column: usize,
+        /// Inclusive lower bound.
+        low: f64,
+        /// Inclusive upper bound.
+        high: f64,
+    },
+    /// Conjunction.
+    And(Vec<BoundPredicate>),
+    /// Disjunction.
+    Or(Vec<BoundPredicate>),
+    /// Negation.
+    Not(Box<BoundPredicate>),
+}
+
+impl BoundPredicate {
+    /// Evaluates the predicate for one row of `table`.
+    pub fn matches(&self, table: &Table, row: usize) -> bool {
+        match self {
+            BoundPredicate::True => true,
+            BoundPredicate::CatEq { column, code } => {
+                table.column_at(*column).category_code(row) == Some(*code)
+            }
+            BoundPredicate::NumGt { column, threshold } => table
+                .column_at(*column)
+                .numeric_value(row)
+                .is_some_and(|v| v > *threshold),
+            BoundPredicate::NumLt { column, threshold } => table
+                .column_at(*column)
+                .numeric_value(row)
+                .is_some_and(|v| v < *threshold),
+            BoundPredicate::NumBetween { column, low, high } => table
+                .column_at(*column)
+                .numeric_value(row)
+                .is_some_and(|v| v >= *low && v <= *high),
+            BoundPredicate::And(children) => children.iter().all(|c| c.matches(table, row)),
+            BoundPredicate::Or(children) => children.iter().any(|c| c.matches(table, row)),
+            BoundPredicate::Not(child) => !child.matches(table, row),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::Column;
+
+    fn table() -> Table {
+        Table::new(vec![
+            Column::float("delay", vec![5.0, -2.0, 12.0, 0.0, 30.0]),
+            Column::categorical("airline", &["UA", "AA", "UA", "DL", "AA"]),
+            Column::int("dep_time", vec![900, 1200, 1800, 600, 2300]),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn true_predicate_matches_everything() {
+        let t = table();
+        let p = Predicate::True.bind(&t).unwrap();
+        assert!((0..5).all(|r| p.matches(&t, r)));
+    }
+
+    #[test]
+    fn categorical_equality() {
+        let t = table();
+        let p = Predicate::cat_eq("airline", "UA").bind(&t).unwrap();
+        let matches: Vec<usize> = (0..5).filter(|&r| p.matches(&t, r)).collect();
+        assert_eq!(matches, vec![0, 2]);
+    }
+
+    #[test]
+    fn unknown_category_fails_to_bind() {
+        let t = table();
+        assert!(matches!(
+            Predicate::cat_eq("airline", "ZZ").bind(&t),
+            Err(StoreError::UnknownCategory { .. })
+        ));
+    }
+
+    #[test]
+    fn numeric_comparisons() {
+        let t = table();
+        let gt = Predicate::num_gt("dep_time", 1000.0).bind(&t).unwrap();
+        assert_eq!(
+            (0..5).filter(|&r| gt.matches(&t, r)).collect::<Vec<_>>(),
+            vec![1, 2, 4]
+        );
+        let lt = Predicate::num_lt("delay", 0.0).bind(&t).unwrap();
+        assert_eq!((0..5).filter(|&r| lt.matches(&t, r)).collect::<Vec<_>>(), vec![1]);
+        let between = Predicate::NumBetween {
+            column: "delay".into(),
+            low: 0.0,
+            high: 12.0,
+        }
+        .bind(&t)
+        .unwrap();
+        assert_eq!(
+            (0..5).filter(|&r| between.matches(&t, r)).collect::<Vec<_>>(),
+            vec![0, 2, 3]
+        );
+    }
+
+    #[test]
+    fn boolean_combinations() {
+        let t = table();
+        let p = Predicate::And(vec![
+            Predicate::cat_eq("airline", "AA"),
+            Predicate::num_gt("dep_time", 2000.0),
+        ])
+        .bind(&t)
+        .unwrap();
+        assert_eq!((0..5).filter(|&r| p.matches(&t, r)).collect::<Vec<_>>(), vec![4]);
+
+        let p = Predicate::Or(vec![
+            Predicate::cat_eq("airline", "DL"),
+            Predicate::num_lt("delay", -1.0),
+        ])
+        .bind(&t)
+        .unwrap();
+        assert_eq!((0..5).filter(|&r| p.matches(&t, r)).collect::<Vec<_>>(), vec![1, 3]);
+
+        let p = Predicate::Not(Box::new(Predicate::cat_eq("airline", "UA")))
+            .bind(&t)
+            .unwrap();
+        assert_eq!((0..5).filter(|&r| p.matches(&t, r)).collect::<Vec<_>>(), vec![1, 3, 4]);
+    }
+
+    #[test]
+    fn binding_validates_types() {
+        let t = table();
+        assert!(matches!(
+            Predicate::num_gt("airline", 1.0).bind(&t),
+            Err(StoreError::TypeMismatch { .. })
+        ));
+        assert!(matches!(
+            Predicate::cat_eq("delay", "x").bind(&t),
+            Err(StoreError::TypeMismatch { .. })
+        ));
+        assert!(matches!(
+            Predicate::num_gt("missing", 1.0).bind(&t),
+            Err(StoreError::UnknownColumn { .. })
+        ));
+    }
+
+    #[test]
+    fn categorical_equality_extraction() {
+        let p = Predicate::cat_eq("airline", "UA");
+        assert_eq!(p.categorical_equality(), Some(("airline", "UA")));
+        let p = Predicate::And(vec![
+            Predicate::num_gt("dep_time", 100.0),
+            Predicate::cat_eq("origin", "ORD"),
+        ]);
+        assert_eq!(p.categorical_equality(), Some(("origin", "ORD")));
+        assert_eq!(Predicate::True.categorical_equality(), None);
+        assert_eq!(
+            Predicate::num_gt("delay", 0.0).categorical_equality(),
+            None
+        );
+    }
+}

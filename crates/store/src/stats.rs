@@ -1,0 +1,120 @@
+//! Scan instrumentation counters.
+//!
+//! The paper's evaluation decouples algorithmic cost from CPU effects by
+//! reporting the number of **blocks fetched** from main memory (§5.3).
+//! [`ScanStats`] tracks that number plus a few auxiliary counters that the
+//! benchmark harness and tests use to validate skipping behaviour.
+
+/// Counters accumulated while executing one query.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScanStats {
+    /// Blocks whose rows were actually read (the paper's headline cost
+    /// metric).
+    pub blocks_fetched: u64,
+    /// Blocks skipped thanks to the block bitmap index (active scanning).
+    pub blocks_skipped: u64,
+    /// Individual rows read out of fetched blocks.
+    pub rows_scanned: u64,
+    /// Rows that satisfied the query predicate (i.e. contributed to some
+    /// aggregate view).
+    pub rows_matched: u64,
+    /// Bitmap-index membership checks performed.
+    pub index_checks: u64,
+    /// OptStop rounds (CI recomputations) performed.
+    pub rounds: u64,
+}
+
+impl ScanStats {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records that a block was fetched and `rows` of it were scanned.
+    #[inline]
+    pub fn record_fetch(&mut self, rows: u64) {
+        self.blocks_fetched += 1;
+        self.rows_scanned += rows;
+    }
+
+    /// Records that a block was skipped without being read.
+    #[inline]
+    pub fn record_skip(&mut self) {
+        self.blocks_skipped += 1;
+    }
+
+    /// Records predicate matches.
+    #[inline]
+    pub fn record_matches(&mut self, rows: u64) {
+        self.rows_matched += rows;
+    }
+
+    /// Records bitmap-index lookups.
+    #[inline]
+    pub fn record_index_checks(&mut self, checks: u64) {
+        self.index_checks += checks;
+    }
+
+    /// Records the completion of one OptStop round.
+    #[inline]
+    pub fn record_round(&mut self) {
+        self.rounds += 1;
+    }
+
+    /// Merges another set of counters into this one.
+    pub fn merge(&mut self, other: &ScanStats) {
+        self.blocks_fetched += other.blocks_fetched;
+        self.blocks_skipped += other.blocks_skipped;
+        self.rows_scanned += other.rows_scanned;
+        self.rows_matched += other.rows_matched;
+        self.index_checks += other.index_checks;
+        self.rounds += other.rounds;
+    }
+
+    /// Total blocks considered (fetched + skipped).
+    pub fn blocks_considered(&self) -> u64 {
+        self.blocks_fetched + self.blocks_skipped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut s = ScanStats::new();
+        s.record_fetch(25);
+        s.record_fetch(25);
+        s.record_skip();
+        s.record_matches(13);
+        s.record_index_checks(3);
+        s.record_round();
+        assert_eq!(s.blocks_fetched, 2);
+        assert_eq!(s.blocks_skipped, 1);
+        assert_eq!(s.rows_scanned, 50);
+        assert_eq!(s.rows_matched, 13);
+        assert_eq!(s.index_checks, 3);
+        assert_eq!(s.rounds, 1);
+        assert_eq!(s.blocks_considered(), 3);
+    }
+
+    #[test]
+    fn merge_sums_counters() {
+        let mut a = ScanStats::new();
+        a.record_fetch(10);
+        let mut b = ScanStats::new();
+        b.record_fetch(5);
+        b.record_skip();
+        a.merge(&b);
+        assert_eq!(a.blocks_fetched, 2);
+        assert_eq!(a.rows_scanned, 15);
+        assert_eq!(a.blocks_skipped, 1);
+    }
+
+    #[test]
+    fn default_is_zeroed() {
+        assert_eq!(ScanStats::default(), ScanStats::new());
+        assert_eq!(ScanStats::new().blocks_considered(), 0);
+    }
+}

@@ -1,0 +1,270 @@
+//! Tables: named collections of equal-length columns, plus the store error
+//! type.
+
+use crate::column::{Column, DataType, Value};
+
+/// Errors produced by the storage layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StoreError {
+    /// A referenced column does not exist.
+    UnknownColumn {
+        /// The missing column's name.
+        name: String,
+    },
+    /// A column was used with an incompatible type (e.g. aggregating a
+    /// categorical column).
+    TypeMismatch {
+        /// Column name.
+        name: String,
+        /// The type that was expected by the operation.
+        expected: &'static str,
+        /// The column's actual type.
+        actual: DataType,
+    },
+    /// Columns of differing lengths were combined into one table.
+    LengthMismatch {
+        /// Name of the offending column.
+        name: String,
+        /// Its length.
+        len: usize,
+        /// The expected table length.
+        expected: usize,
+    },
+    /// A categorical value referenced by a predicate does not occur in the
+    /// column's dictionary.
+    UnknownCategory {
+        /// Column name.
+        column: String,
+        /// The value that was not found.
+        value: String,
+    },
+    /// The table has no rows.
+    EmptyTable,
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::UnknownColumn { name } => write!(f, "unknown column `{name}`"),
+            StoreError::TypeMismatch {
+                name,
+                expected,
+                actual,
+            } => write!(f, "column `{name}` has type {actual:?}, expected {expected}"),
+            StoreError::LengthMismatch { name, len, expected } => write!(
+                f,
+                "column `{name}` has {len} rows but the table has {expected}"
+            ),
+            StoreError::UnknownCategory { column, value } => {
+                write!(f, "value `{value}` not present in column `{column}`")
+            }
+            StoreError::EmptyTable => write!(f, "table has no rows"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+/// Result alias for storage operations.
+pub type StoreResult<T> = Result<T, StoreError>;
+
+/// An immutable, in-memory table of equal-length columns.
+#[derive(Debug, Clone)]
+pub struct Table {
+    columns: Vec<Column>,
+    num_rows: usize,
+}
+
+impl Table {
+    /// Assembles a table from columns, validating that all lengths agree.
+    pub fn new(columns: Vec<Column>) -> StoreResult<Self> {
+        let num_rows = columns.first().map_or(0, Column::len);
+        for c in &columns {
+            if c.len() != num_rows {
+                return Err(StoreError::LengthMismatch {
+                    name: c.name().to_string(),
+                    len: c.len(),
+                    expected: num_rows,
+                });
+            }
+        }
+        Ok(Self { columns, num_rows })
+    }
+
+    /// Number of rows.
+    pub fn num_rows(&self) -> usize {
+        self.num_rows
+    }
+
+    /// Number of columns.
+    pub fn num_columns(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// All columns, in declaration order.
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// Looks up a column by name.
+    pub fn column(&self, name: &str) -> StoreResult<&Column> {
+        self.columns
+            .iter()
+            .find(|c| c.name() == name)
+            .ok_or_else(|| StoreError::UnknownColumn {
+                name: name.to_string(),
+            })
+    }
+
+    /// Index of a column by name.
+    pub fn column_index(&self, name: &str) -> StoreResult<usize> {
+        self.columns
+            .iter()
+            .position(|c| c.name() == name)
+            .ok_or_else(|| StoreError::UnknownColumn {
+                name: name.to_string(),
+            })
+    }
+
+    /// Column by positional index.
+    pub fn column_at(&self, index: usize) -> &Column {
+        &self.columns[index]
+    }
+
+    /// Looks up a numeric column by name, failing with a type error for
+    /// categorical columns.
+    pub fn numeric_column(&self, name: &str) -> StoreResult<&Column> {
+        let c = self.column(name)?;
+        if c.is_numeric() {
+            Ok(c)
+        } else {
+            Err(StoreError::TypeMismatch {
+                name: name.to_string(),
+                expected: "numeric",
+                actual: c.data_type(),
+            })
+        }
+    }
+
+    /// Looks up a categorical column by name.
+    pub fn categorical_column(&self, name: &str) -> StoreResult<&Column> {
+        let c = self.column(name)?;
+        if c.data_type() == DataType::Categorical {
+            Ok(c)
+        } else {
+            Err(StoreError::TypeMismatch {
+                name: name.to_string(),
+                expected: "categorical",
+                actual: c.data_type(),
+            })
+        }
+    }
+
+    /// Cell value for display.
+    pub fn value(&self, column: &str, row: usize) -> StoreResult<Option<Value>> {
+        Ok(self.column(column)?.value(row))
+    }
+
+    /// Builds a new table with every column permuted by the same permutation
+    /// (output row `i` holds input row `permutation[i]`).
+    pub fn permuted(&self, permutation: &[usize]) -> Table {
+        Table {
+            columns: self.columns.iter().map(|c| c.permuted(permutation)).collect(),
+            num_rows: permutation.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_table() -> Table {
+        Table::new(vec![
+            Column::float("delay", vec![5.0, -2.0, 12.0, 0.0]),
+            Column::categorical("airline", &["UA", "AA", "UA", "DL"]),
+            Column::int("dep_time", vec![900, 1200, 1800, 600]),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_and_accessors() {
+        let t = sample_table();
+        assert_eq!(t.num_rows(), 4);
+        assert_eq!(t.num_columns(), 3);
+        assert_eq!(t.column("delay").unwrap().name(), "delay");
+        assert_eq!(t.column_index("airline").unwrap(), 1);
+        assert_eq!(t.column_at(2).name(), "dep_time");
+        assert!(matches!(
+            t.column("nope"),
+            Err(StoreError::UnknownColumn { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_mismatched_lengths() {
+        let err = Table::new(vec![
+            Column::float("a", vec![1.0, 2.0]),
+            Column::float("b", vec![1.0]),
+        ])
+        .unwrap_err();
+        assert!(matches!(err, StoreError::LengthMismatch { .. }));
+    }
+
+    #[test]
+    fn typed_column_lookups() {
+        let t = sample_table();
+        assert!(t.numeric_column("delay").is_ok());
+        assert!(t.numeric_column("dep_time").is_ok());
+        assert!(matches!(
+            t.numeric_column("airline"),
+            Err(StoreError::TypeMismatch { .. })
+        ));
+        assert!(t.categorical_column("airline").is_ok());
+        assert!(matches!(
+            t.categorical_column("delay"),
+            Err(StoreError::TypeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn value_access() {
+        let t = sample_table();
+        assert_eq!(
+            t.value("airline", 3).unwrap(),
+            Some(Value::Str("DL".to_string()))
+        );
+        assert_eq!(t.value("delay", 2).unwrap(), Some(Value::Float(12.0)));
+        assert_eq!(t.value("delay", 99).unwrap(), None);
+    }
+
+    #[test]
+    fn permuted_table() {
+        let t = sample_table();
+        let p = t.permuted(&[3, 2, 1, 0]);
+        assert_eq!(p.num_rows(), 4);
+        assert_eq!(p.value("delay", 0).unwrap(), Some(Value::Float(0.0)));
+        assert_eq!(
+            p.value("airline", 3).unwrap(),
+            Some(Value::Str("UA".to_string()))
+        );
+    }
+
+    #[test]
+    fn empty_table_is_allowed_but_has_zero_rows() {
+        let t = Table::new(vec![]).unwrap();
+        assert_eq!(t.num_rows(), 0);
+        assert_eq!(t.num_columns(), 0);
+    }
+
+    #[test]
+    fn error_display() {
+        let e = StoreError::UnknownCategory {
+            column: "airline".into(),
+            value: "ZZ".into(),
+        };
+        assert!(e.to_string().contains("ZZ"));
+        assert!(StoreError::EmptyTable.to_string().contains("no rows"));
+    }
+}

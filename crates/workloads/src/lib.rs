@@ -1,0 +1,29 @@
+//! # fastframe-workloads
+//!
+//! Workload generators and query templates for the FastFrame evaluation
+//! (§5 of the paper).
+//!
+//! * [`flights`] — a synthetic stand-in for the public Flights dataset the
+//!   paper evaluates on (Table 3). The generator reproduces the dataset's
+//!   *structural* properties that drive every experiment: per-airline mean
+//!   delays matching the ladder visible in Figure 7(b), Zipf-distributed
+//!   airport popularity (sparse vs. dense groups), a heavy right tail of
+//!   delays that inflates the catalog range far beyond the bulk of the data,
+//!   departure-time-dependent spread between airlines (Figure 8), and a
+//!   handful of small airports with negative average delay (F-q5).
+//! * [`queries`] — the nine query templates F-q1 … F-q9 of Figure 5 with
+//!   their stopping conditions (Table 4).
+//! * [`synthetic`] — simple labelled value distributions used by the
+//!   micro-benchmarks and ablations.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+#![deny(unsafe_code)]
+
+pub mod flights;
+pub mod queries;
+pub mod synthetic;
+
+pub use flights::{FlightsConfig, FlightsDataset};
+pub use queries::{all_default_queries, QueryTemplate};
+pub use synthetic::SyntheticDistribution;

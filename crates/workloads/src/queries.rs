@@ -1,0 +1,246 @@
+//! The nine Flights query templates F-q1 … F-q9 (Figure 5) with their
+//! stopping conditions (Table 4).
+//!
+//! | Query | Semantics | Stopping condition |
+//! |-------|-----------|--------------------|
+//! | F-q1  | avg delay for `$airport`                          | Ì relative accuracy `ε` |
+//! | F-q2  | airlines with avg delay above `$thresh`            | Í threshold side |
+//! | F-q3  | 2 airlines with min avg delay after `$min_dep_time`| Î bottom-2 separated |
+//! | F-q4  | whether ORD has avg delay > 10                     | Í threshold side |
+//! | F-q5  | airports with negative avg departure delay         | Í threshold side |
+//! | F-q6  | 5 worst (day, airport) pairs for afternoon delays  | Î top-5 separated |
+//! | F-q7  | avg delay by day of week for airline HP            | Ï groups ordered |
+//! | F-q8  | origin airport with highest avg departure delay    | Î top-1 separated |
+//! | F-q9  | airline with maximum avg delay                     | Î top-1 separated |
+
+use fastframe_engine::query::AggQuery;
+use fastframe_store::expr::Expr;
+use fastframe_store::predicate::Predicate;
+
+use crate::flights::columns;
+
+/// A named, parameterized query template.
+#[derive(Debug, Clone)]
+pub struct QueryTemplate {
+    /// Template identifier (`F-q1` … `F-q9`).
+    pub id: &'static str,
+    /// Short description of the query's semantics.
+    pub description: &'static str,
+    /// The concrete query (with this instantiation's parameters baked in).
+    pub query: AggQuery,
+}
+
+/// F-q1: `SELECT AVG(DepDelay) FROM flights WHERE Origin = $airport`,
+/// stopping once the relative error drops below `epsilon`.
+pub fn f_q1(airport: &str, epsilon: f64) -> QueryTemplate {
+    QueryTemplate {
+        id: "F-q1",
+        description: "avg delay for $airport (relative accuracy)",
+        query: AggQuery::avg(format!("F-q1[{airport},eps={epsilon}]"), Expr::col(columns::DEP_DELAY))
+            .filter(Predicate::cat_eq(columns::ORIGIN, airport))
+            .relative_error(epsilon)
+            .build(),
+    }
+}
+
+/// F-q2: `SELECT Airline FROM flights GROUP BY Airline HAVING AVG(DepDelay) >
+/// $thresh`.
+pub fn f_q2(thresh: f64) -> QueryTemplate {
+    QueryTemplate {
+        id: "F-q2",
+        description: "airlines with avg delay above $thresh",
+        query: AggQuery::avg(format!("F-q2[thresh={thresh}]"), Expr::col(columns::DEP_DELAY))
+            .group_by(columns::AIRLINE)
+            .having_gt(thresh)
+            .build(),
+    }
+}
+
+/// F-q3: `SELECT Airline FROM flights WHERE DepTime > $min_dep_time GROUP BY
+/// Airline ORDER BY AVG(DepDelay) ASC LIMIT 2`.
+pub fn f_q3(min_dep_time: i64) -> QueryTemplate {
+    QueryTemplate {
+        id: "F-q3",
+        description: "2 airlines with min avg delay after $min_dep_time",
+        query: AggQuery::avg(
+            format!("F-q3[min_dep_time={min_dep_time}]"),
+            Expr::col(columns::DEP_DELAY),
+        )
+        .filter(Predicate::num_gt(columns::DEP_TIME, min_dep_time as f64))
+        .group_by(columns::AIRLINE)
+        .order_asc_limit(2)
+        .build(),
+    }
+}
+
+/// F-q4: `SELECT (CASE WHEN AVG(DepDelay) > 10 THEN 1 ELSE 0 END) FROM
+/// flights WHERE Origin = 'ORD'` — a single aggregate compared against 10.
+pub fn f_q4() -> QueryTemplate {
+    QueryTemplate {
+        id: "F-q4",
+        description: "whether ORD has avg delay > 10",
+        query: AggQuery::avg("F-q4", Expr::col(columns::DEP_DELAY))
+            .filter(Predicate::cat_eq(columns::ORIGIN, "ORD"))
+            .stop_when(fastframe_core::stopping::StoppingCondition::ThresholdSide {
+                threshold: 10.0,
+            })
+            .build(),
+    }
+}
+
+/// F-q5: `SELECT Origin FROM flights GROUP BY Origin HAVING AVG(DepDelay) <
+/// 0`.
+pub fn f_q5() -> QueryTemplate {
+    QueryTemplate {
+        id: "F-q5",
+        description: "airports with negative avg departure delay",
+        query: AggQuery::avg("F-q5", Expr::col(columns::DEP_DELAY))
+            .group_by(columns::ORIGIN)
+            .having_lt(0.0)
+            .build(),
+    }
+}
+
+/// F-q6: `SELECT DayOfWeek, Origin FROM flights WHERE DepTime > 1:50pm GROUP
+/// BY DayOfWeek, Origin ORDER BY AVG(DepDelay) DESC LIMIT 5`.
+pub fn f_q6() -> QueryTemplate {
+    QueryTemplate {
+        id: "F-q6",
+        description: "5 worst (day, airport) pairs for afternoon delays",
+        query: AggQuery::avg("F-q6", Expr::col(columns::DEP_DELAY))
+            .filter(Predicate::num_gt(columns::DEP_TIME, 1_350.0))
+            .group_by(columns::DAY_OF_WEEK)
+            .group_by(columns::ORIGIN)
+            .order_desc_limit(5)
+            .build(),
+    }
+}
+
+/// F-q7: `SELECT DayOfWeek, AVG(DepDelay) FROM flights WHERE Airline = 'HP'
+/// GROUP BY DayOfWeek` — displayed with CIs, terminating once the per-day
+/// aggregates are fully ordered.
+pub fn f_q7() -> QueryTemplate {
+    QueryTemplate {
+        id: "F-q7",
+        description: "avg delay by day of week for airline HP",
+        query: AggQuery::avg("F-q7", Expr::col(columns::DEP_DELAY))
+            .filter(Predicate::cat_eq(columns::AIRLINE, "HP"))
+            .group_by(columns::DAY_OF_WEEK)
+            .groups_ordered()
+            .build(),
+    }
+}
+
+/// F-q8: `SELECT Origin FROM flights GROUP BY Origin ORDER BY AVG(DepDelay)
+/// DESC LIMIT 1`.
+pub fn f_q8() -> QueryTemplate {
+    QueryTemplate {
+        id: "F-q8",
+        description: "origin airport with highest avg departure delay",
+        query: AggQuery::avg("F-q8", Expr::col(columns::DEP_DELAY))
+            .group_by(columns::ORIGIN)
+            .order_desc_limit(1)
+            .build(),
+    }
+}
+
+/// F-q9: `SELECT Airline FROM flights GROUP BY Airline ORDER BY
+/// AVG(DepDelay) DESC LIMIT 1`.
+pub fn f_q9() -> QueryTemplate {
+    QueryTemplate {
+        id: "F-q9",
+        description: "airline with maximum avg delay",
+        query: AggQuery::avg("F-q9", Expr::col(columns::DEP_DELAY))
+            .group_by(columns::AIRLINE)
+            .order_desc_limit(1)
+            .build(),
+    }
+}
+
+/// All nine queries with the default parameters used for Table 5:
+/// F-q1[$airport='ORD', ε=0.5], F-q2[$thresh=0], F-q3[$min_dep_time=10:50pm].
+pub fn all_default_queries() -> Vec<QueryTemplate> {
+    vec![
+        f_q1("ORD", 0.5),
+        f_q2(0.0),
+        f_q3(2_250),
+        f_q4(),
+        f_q5(),
+        f_q6(),
+        f_q7(),
+        f_q8(),
+        f_q9(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastframe_core::stopping::StoppingCondition;
+    use fastframe_engine::query::{AggregateFunction, CmpOp};
+
+    #[test]
+    fn default_set_has_nine_queries_in_order() {
+        let qs = all_default_queries();
+        assert_eq!(qs.len(), 9);
+        for (i, q) in qs.iter().enumerate() {
+            assert_eq!(q.id, format!("F-q{}", i + 1));
+            assert_eq!(q.query.aggregate, AggregateFunction::Avg);
+            assert!(!q.description.is_empty());
+        }
+    }
+
+    #[test]
+    fn stopping_conditions_match_table4() {
+        assert!(matches!(
+            f_q1("ORD", 0.5).query.stopping,
+            StoppingCondition::RelativeError { epsilon } if epsilon == 0.5
+        ));
+        assert!(matches!(
+            f_q2(0.0).query.stopping,
+            StoppingCondition::ThresholdSide { threshold } if threshold == 0.0
+        ));
+        assert!(matches!(
+            f_q3(2250).query.stopping,
+            StoppingCondition::TopKSeparated { k: 2, largest: false }
+        ));
+        assert!(matches!(
+            f_q4().query.stopping,
+            StoppingCondition::ThresholdSide { threshold } if threshold == 10.0
+        ));
+        assert!(matches!(
+            f_q5().query.stopping,
+            StoppingCondition::ThresholdSide { threshold } if threshold == 0.0
+        ));
+        assert!(matches!(
+            f_q6().query.stopping,
+            StoppingCondition::TopKSeparated { k: 5, largest: true }
+        ));
+        assert!(matches!(f_q7().query.stopping, StoppingCondition::GroupsOrdered));
+        assert!(matches!(
+            f_q8().query.stopping,
+            StoppingCondition::TopKSeparated { k: 1, largest: true }
+        ));
+        assert!(matches!(
+            f_q9().query.stopping,
+            StoppingCondition::TopKSeparated { k: 1, largest: true }
+        ));
+    }
+
+    #[test]
+    fn clauses_match_figure5() {
+        assert_eq!(f_q2(3.0).query.having.unwrap().op, CmpOp::Gt);
+        assert_eq!(f_q5().query.having.unwrap().op, CmpOp::Lt);
+        assert_eq!(f_q5().query.group_by, vec![columns::ORIGIN.to_string()]);
+        assert_eq!(
+            f_q6().query.group_by,
+            vec![columns::DAY_OF_WEEK.to_string(), columns::ORIGIN.to_string()]
+        );
+        assert_eq!(f_q3(1000).query.order.unwrap().limit, 2);
+        assert!(!f_q3(1000).query.order.unwrap().descending);
+        assert_eq!(f_q8().query.order.unwrap().limit, 1);
+        assert!(f_q8().query.order.unwrap().descending);
+        assert!(f_q1("ORD", 0.5).query.group_by.is_empty());
+        assert!(f_q4().query.group_by.is_empty());
+    }
+}

@@ -1,0 +1,179 @@
+//! Labelled synthetic value distributions for micro-benchmarks and ablation
+//! studies over the error bounders (§2.3, §3).
+//!
+//! Each distribution is defined over an explicit support range `[a, b]` that
+//! plays the role of the catalog range bounds; the interesting cases are the
+//! ones where the data's *effective* spread is much smaller than `[a, b]`
+//! (the regime motivating Bernstein over Hoeffding and RangeTrim over plain
+//! bounders).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A named synthetic distribution over a fixed support range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SyntheticDistribution {
+    /// Uniform over the full declared range — the "honest" case where the
+    /// range bounds are tight.
+    UniformFullRange,
+    /// A tight Gaussian bulk in the middle of a much wider declared range.
+    ConcentratedGaussian,
+    /// Log-normal-style positive skew: most mass near the bottom of the
+    /// range, a long right tail.
+    HeavyTail,
+    /// Two-point distribution at the range endpoints — the worst case for
+    /// which Hoeffding-style bounds are tight.
+    TwoPointAdversarial,
+    /// All values identical (zero variance).
+    Constant,
+    /// A narrow uniform band near the bottom of the range, far from the upper
+    /// range bound — the best case for RangeTrim's trimmed lower bound.
+    NarrowLowBand,
+}
+
+impl SyntheticDistribution {
+    /// All distributions, in a stable order.
+    pub const ALL: [SyntheticDistribution; 6] = [
+        SyntheticDistribution::UniformFullRange,
+        SyntheticDistribution::ConcentratedGaussian,
+        SyntheticDistribution::HeavyTail,
+        SyntheticDistribution::TwoPointAdversarial,
+        SyntheticDistribution::Constant,
+        SyntheticDistribution::NarrowLowBand,
+    ];
+
+    /// Display label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SyntheticDistribution::UniformFullRange => "uniform-full-range",
+            SyntheticDistribution::ConcentratedGaussian => "concentrated-gaussian",
+            SyntheticDistribution::HeavyTail => "heavy-tail",
+            SyntheticDistribution::TwoPointAdversarial => "two-point-adversarial",
+            SyntheticDistribution::Constant => "constant",
+            SyntheticDistribution::NarrowLowBand => "narrow-low-band",
+        }
+    }
+
+    /// The declared support range `[a, b]` for this distribution.
+    pub fn support(&self) -> (f64, f64) {
+        (0.0, 1_000.0)
+    }
+
+    /// Generates `n` values from the distribution with the given seed.
+    pub fn generate(&self, n: usize, seed: u64) -> Vec<f64> {
+        let (a, b) = self.support();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let normal = |mean: f64, std: f64, rng: &mut StdRng| {
+            let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+            let u2: f64 = rng.gen_range(0.0..1.0);
+            mean + std * (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+        };
+        (0..n)
+            .map(|_| {
+                let v = match self {
+                    SyntheticDistribution::UniformFullRange => rng.gen_range(a..b),
+                    SyntheticDistribution::ConcentratedGaussian => {
+                        normal(500.0, 10.0, &mut rng)
+                    }
+                    SyntheticDistribution::HeavyTail => {
+                        let base: f64 = rng.gen_range(10.0..40.0);
+                        let tail: f64 = if rng.gen_range(0.0..1.0) < 0.02 {
+                            -120.0 * rng.gen_range(f64::EPSILON..1.0f64).ln()
+                        } else {
+                            0.0
+                        };
+                        base + tail
+                    }
+                    SyntheticDistribution::TwoPointAdversarial => {
+                        if rng.gen_range(0.0..1.0) < 0.5 {
+                            a
+                        } else {
+                            b
+                        }
+                    }
+                    SyntheticDistribution::Constant => 300.0,
+                    SyntheticDistribution::NarrowLowBand => rng.gen_range(50.0..60.0),
+                };
+                v.clamp(a, b)
+            })
+            .collect()
+    }
+
+    /// The exact mean of `values` (convenience for benchmark reporting).
+    pub fn mean(values: &[f64]) -> f64 {
+        if values.is_empty() {
+            0.0
+        } else {
+            values.iter().sum::<f64>() / values.len() as f64
+        }
+    }
+}
+
+impl std::fmt::Display for SyntheticDistribution {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_distributions_generate_within_support() {
+        for dist in SyntheticDistribution::ALL {
+            let (a, b) = dist.support();
+            let values = dist.generate(5_000, 11);
+            assert_eq!(values.len(), 5_000);
+            assert!(values.iter().all(|&v| v >= a && v <= b), "{dist}");
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        for dist in SyntheticDistribution::ALL {
+            assert_eq!(dist.generate(100, 3), dist.generate(100, 3));
+        }
+        assert_ne!(
+            SyntheticDistribution::UniformFullRange.generate(100, 3),
+            SyntheticDistribution::UniformFullRange.generate(100, 4)
+        );
+    }
+
+    #[test]
+    fn distribution_shapes() {
+        let concentrated = SyntheticDistribution::ConcentratedGaussian.generate(20_000, 1);
+        let mean = SyntheticDistribution::mean(&concentrated);
+        assert!((mean - 500.0).abs() < 2.0);
+        let spread = concentrated
+            .iter()
+            .map(|v| (v - mean).abs())
+            .fold(0.0f64, f64::max);
+        assert!(spread < 100.0, "bulk should be far from the range ends");
+
+        let constant = SyntheticDistribution::Constant.generate(100, 1);
+        assert!(constant.iter().all(|&v| v == 300.0));
+
+        let two_point = SyntheticDistribution::TwoPointAdversarial.generate(20_000, 1);
+        let m = SyntheticDistribution::mean(&two_point);
+        assert!((m - 500.0).abs() < 20.0);
+        assert!(two_point.iter().all(|&v| v == 0.0 || v == 1_000.0));
+
+        let low_band = SyntheticDistribution::NarrowLowBand.generate(1_000, 1);
+        assert!(low_band.iter().all(|&v| (50.0..60.0).contains(&v)));
+
+        let heavy = SyntheticDistribution::HeavyTail.generate(50_000, 1);
+        let hm = SyntheticDistribution::mean(&heavy);
+        let max = heavy.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        assert!(hm < 40.0, "heavy-tail mean {hm} should stay near the bulk");
+        assert!(max > 150.0, "heavy-tail max {max} should be far above the mean");
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let labels: std::collections::HashSet<_> =
+            SyntheticDistribution::ALL.iter().map(|d| d.label()).collect();
+        assert_eq!(labels.len(), SyntheticDistribution::ALL.len());
+        assert_eq!(SyntheticDistribution::mean(&[]), 0.0);
+    }
+}

@@ -1,0 +1,77 @@
+//! Aggregating an arbitrary expression of several columns (Appendix B):
+//! derived range bounds let the same guarantees apply to
+//! `AVG((DepDelay - 10)^2)`-style targets, and the example also shows the
+//! optimization-based bounds from `fastframe_core::expr_bounds` for convex
+//! expressions.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release -p fastframe-engine --example expression_bounds
+//! ```
+
+use fastframe_core::expr_bounds::{convex_bounds, DescentOptions, Interval};
+use fastframe_engine::prelude::*;
+use fastframe_store::catalog::Catalog;
+use fastframe_workloads::flights::{columns, FlightsConfig, FlightsDataset};
+
+fn main() {
+    let dataset = FlightsDataset::generate(FlightsConfig::default().rows(200_000))
+        .expect("generation succeeds");
+    let frame = FastFrame::from_table(&dataset.table, 11).expect("scramble builds");
+
+    // Target expression: squared deviation of the delay from 10 minutes —
+    // i.e. AVG((DepDelay - 10)^2), a dispersion-style aggregate.
+    let target = Expr::col(columns::DEP_DELAY).sub(Expr::lit(10.0)).pow(2);
+
+    // 1. Conservative derived range bounds via interval arithmetic (what the
+    //    engine uses automatically).
+    let catalog = Catalog::build(&dataset.table, 0.0);
+    let (ia_lo, ia_hi) = target.range_bounds(&catalog).expect("bounds derive");
+    println!("interval-arithmetic derived bounds: [{ia_lo:.1}, {ia_hi:.1}]");
+
+    // 2. Tighter bounds from the convex optimizer of Appendix B: the
+    //    expression is convex in DepDelay, so the maximum is at a corner of
+    //    the range box and the minimum is found by projected descent.
+    let (a, b) = catalog.range_bounds(columns::DEP_DELAY).expect("delay range");
+    let boxes = [Interval::new(a, b).expect("valid range")];
+    let (opt_lo, opt_hi) = convex_bounds(
+        |c: &[f64]| (c[0] - 10.0).powi(2),
+        &boxes,
+        &DescentOptions::default(),
+    )
+    .expect("optimization succeeds");
+    println!("optimization-based derived bounds:   [{opt_lo:.1}, {opt_hi:.1}]");
+    assert!(
+        opt_hi <= ia_hi + 1e-9,
+        "optimizer must not be looser than interval arithmetic"
+    );
+
+    // 3. Run the aggregate approximately and exactly.
+    let query = AggQuery::avg("avg-squared-deviation", target)
+        .relative_error(0.1)
+        .build();
+    let config = EngineConfig::default().round_rows(10_000);
+    let approx = frame.execute(&query, &config).expect("approximate query");
+    let exact = frame.execute_exact(&query).expect("exact query");
+
+    let ag = approx.global().expect("one group");
+    let eg = exact.global().expect("one group");
+    println!(
+        "\nAVG((DepDelay - 10)^2): estimate {:.1}  CI [{:.1}, {:.1}]  exact {:.1}",
+        ag.estimate.unwrap(),
+        ag.ci.lo,
+        ag.ci.hi,
+        eg.estimate.unwrap()
+    );
+    println!(
+        "blocks fetched: approximate {} vs exact {}",
+        approx.metrics.blocks_fetched(),
+        exact.metrics.blocks_fetched()
+    );
+    assert!(
+        ag.ci.contains(eg.estimate.unwrap()),
+        "the interval must enclose the exact aggregate"
+    );
+    println!("the confidence interval encloses the exact aggregate, as guaranteed.");
+}

@@ -1,0 +1,75 @@
+//! HAVING-style dashboard query over the synthetic Flights dataset:
+//! "which airlines have a positive average departure delay?" (the paper's
+//! F-q2 template with `$thresh = 0`), answered approximately with guarantees
+//! by each error bounder and compared against the exact answer.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release -p fastframe-engine --example flights_having
+//! ```
+//!
+//! Set `FASTFRAME_ROWS` to change the dataset size (default 1 000 000 —
+//! larger datasets make the speedups more dramatic, exactly as in the paper,
+//! because the number of samples needed for a fixed confidence target does
+//! not grow with the data).
+
+use fastframe_engine::prelude::*;
+use fastframe_workloads::flights::{FlightsConfig, FlightsDataset};
+use fastframe_workloads::queries::f_q2;
+
+fn main() {
+    let rows: usize = std::env::var("FASTFRAME_ROWS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1_000_000);
+
+    println!("generating synthetic Flights dataset ({rows} rows)...");
+    let dataset = FlightsDataset::generate(FlightsConfig::default().rows(rows))
+        .expect("generation succeeds");
+    println!("{}", dataset.describe());
+
+    // F-q2: airlines with average departure delay above the threshold.
+    let template = f_q2(0.0);
+    println!("\n{} — {}", template.id, template.description);
+
+    let frame = FastFrame::from_table(&dataset.table, 2_021).expect("scramble builds");
+    let exact = frame.execute_exact(&template.query).expect("exact baseline");
+    let mut expected = exact.selected_labels();
+    expected.sort();
+
+    println!(
+        "exact answer ({} blocks scanned): {expected:?}",
+        exact.metrics.blocks_fetched()
+    );
+    println!(
+        "\n{:<16} {:>12} {:>12} {:>10} {:>8}",
+        "bounder", "blocks", "speedup", "early?", "match?"
+    );
+    for bounder in [
+        BounderKind::Hoeffding,
+        BounderKind::HoeffdingRangeTrim,
+        BounderKind::Bernstein,
+        BounderKind::BernsteinRangeTrim,
+    ] {
+        let config = EngineConfig::with_bounder(bounder).strategy(SamplingStrategy::ActivePeek);
+        let result = frame.execute(&template.query, &config).expect("approximate query");
+        let mut got = result.selected_labels();
+        got.sort();
+        let speedup =
+            exact.metrics.blocks_fetched() as f64 / result.metrics.blocks_fetched().max(1) as f64;
+        println!(
+            "{:<16} {:>12} {:>11.1}x {:>10} {:>8}",
+            bounder.label(),
+            result.metrics.blocks_fetched(),
+            speedup,
+            result.converged,
+            got == expected
+        );
+        assert_eq!(got, expected, "approximate answer must match the exact one");
+    }
+    println!(
+        "\nevery bounder returned exactly the airlines the exact query returned, while reading \
+         only a fraction of the data."
+    );
+}

@@ -1,0 +1,101 @@
+//! Quickstart: build a table, scramble it, and run an approximate AVG query
+//! with a sample-size-independent confidence interval.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release -p fastframe-engine --example quickstart
+//! ```
+
+use fastframe_engine::prelude::*;
+use fastframe_store::prelude::*;
+
+fn main() {
+    // 1. Build a small orders table: a numeric `amount` column and a
+    //    categorical `region` column.
+    let n = 200_000usize;
+    let amounts: Vec<f64> = (0..n)
+        .map(|i| {
+            let base = match i % 4 {
+                0 => 25.0,
+                1 => 40.0,
+                2 => 60.0,
+                _ => 90.0,
+            };
+            // Deterministic jitter plus a sparse set of large outlier orders
+            // that widen the catalog range far beyond the bulk of the data.
+            let jitter = ((i * 2_654_435_761) % 1000) as f64 / 50.0;
+            if i % 10_000 == 0 {
+                base + 500.0
+            } else {
+                base + jitter
+            }
+        })
+        .collect();
+    let regions: Vec<String> = (0..n)
+        .map(|i| ["north", "south", "east", "west"][i % 4].to_string())
+        .collect();
+    let table = Table::new(vec![
+        Column::float("amount", amounts),
+        Column::categorical("region", &regions),
+    ])
+    .expect("columns have equal length");
+
+    // 2. Build the FastFrame instance. This creates the *scramble* (a
+    //    randomly permuted copy laid out in 25-row blocks), the catalog with
+    //    range bounds for `amount`, and block bitmap indexes over `region`.
+    let frame = FastFrame::from_table(&table, 42).expect("table is well-formed");
+
+    // 3. Ask for the average order amount per region, stopping as soon as
+    //    every region's estimate is within 10% relative error — with an error
+    //    probability of 1e-12 (effectively deterministic).
+    let query = AggQuery::avg("avg-amount-by-region", Expr::col("amount"))
+        .group_by("region")
+        .relative_error(0.10)
+        .build();
+    let config = EngineConfig::with_bounder(BounderKind::BernsteinRangeTrim).delta(1e-12);
+
+    let approx = frame.execute(&query, &config).expect("query executes");
+    let exact = frame.execute_exact(&query).expect("baseline executes");
+
+    println!("== Approximate result (Bernstein+RangeTrim) ==");
+    for g in &approx.groups {
+        println!(
+            "  region {:<6} estimate {:>8.3}  CI [{:>8.3}, {:>8.3}]  from {} samples",
+            g.key.display(),
+            g.estimate.unwrap_or(f64::NAN),
+            g.ci.lo,
+            g.ci.hi,
+            g.samples
+        );
+    }
+    println!(
+        "  converged early: {} | blocks fetched: {} (exact scan: {})",
+        approx.converged,
+        approx.metrics.blocks_fetched(),
+        exact.metrics.blocks_fetched()
+    );
+
+    println!("== Exact result ==");
+    for g in &exact.groups {
+        println!(
+            "  region {:<6} exact {:>8.3}",
+            g.key.display(),
+            g.estimate.unwrap_or(f64::NAN)
+        );
+    }
+
+    // 4. The guarantee in action: every exact value lies inside its interval.
+    for eg in &exact.groups {
+        let ag = approx
+            .groups
+            .iter()
+            .find(|g| g.key == eg.key)
+            .expect("same groups");
+        assert!(
+            ag.ci.contains(eg.estimate.unwrap()),
+            "confidence interval must enclose the exact value"
+        );
+    }
+    println!("All exact group averages fall inside their confidence intervals.");
+}

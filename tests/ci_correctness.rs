@@ -1,0 +1,179 @@
+//! Statistical correctness of the confidence intervals: across many
+//! independent without-replacement samples, the `(1 − δ)` intervals must
+//! enclose the true population mean essentially always (we run a few hundred
+//! trials at δ small enough that even a single miss would indicate a bug, not
+//! bad luck).
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use fastframe_core::bounder::{BoundContext, BounderKind};
+use fastframe_core::count::SelectivityTracker;
+use fastframe_core::sum::sum_interval;
+use fastframe_workloads::synthetic::SyntheticDistribution;
+
+/// Draws a without-replacement sample of `m` values from `population`.
+fn sample_without_replacement(population: &[f64], m: usize, rng: &mut StdRng) -> Vec<f64> {
+    let mut indices: Vec<usize> = (0..population.len()).collect();
+    indices.shuffle(rng);
+    indices[..m].iter().map(|&i| population[i]).collect()
+}
+
+fn population_mean(values: &[f64]) -> f64 {
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+#[test]
+fn avg_intervals_enclose_the_true_mean_for_every_bounder_and_distribution() {
+    const TRIALS: usize = 40;
+    const DELTA: f64 = 1e-9;
+    let mut rng = StdRng::seed_from_u64(0xC0FFEE);
+    for dist in SyntheticDistribution::ALL {
+        let population = dist.generate(50_000, 17);
+        let truth = population_mean(&population);
+        let (a, b) = dist.support();
+        for kind in BounderKind::ALL {
+            for trial in 0..TRIALS {
+                let m = 200 + (trial % 5) * 700;
+                let sample = sample_without_replacement(&population, m, &mut rng);
+                let mut est = kind.make_estimator();
+                for &v in &sample {
+                    est.observe(v);
+                }
+                let ctx = BoundContext::new(a, b, population.len() as u64, DELTA)
+                    .expect("valid context");
+                let ci = est.interval(&ctx);
+                assert!(
+                    ci.contains(truth),
+                    "{kind} interval {ci:?} missed true mean {truth} ({dist}, m = {m})"
+                );
+                assert!(ci.lo >= a && ci.hi <= b, "interval escapes the range");
+            }
+        }
+    }
+}
+
+#[test]
+fn interval_width_decreases_with_sample_size() {
+    let population = SyntheticDistribution::HeavyTail.generate(100_000, 3);
+    let (a, b) = SyntheticDistribution::HeavyTail.support();
+    let mut rng = StdRng::seed_from_u64(1);
+    for kind in BounderKind::EVALUATED {
+        let mut last_width = f64::INFINITY;
+        for &m in &[500usize, 5_000, 50_000] {
+            let sample = sample_without_replacement(&population, m, &mut rng);
+            let mut est = kind.make_estimator();
+            for &v in &sample {
+                est.observe(v);
+            }
+            let ctx = BoundContext::new(a, b, population.len() as u64, 1e-9).unwrap();
+            let width = est.interval(&ctx).width();
+            assert!(
+                width < last_width,
+                "{kind}: width {width} did not shrink from {last_width} at m = {m}"
+            );
+            last_width = width;
+        }
+    }
+}
+
+#[test]
+fn bernstein_beats_hoeffding_on_low_variance_data_and_rt_tightens_the_lower_bound() {
+    let population = SyntheticDistribution::NarrowLowBand.generate(100_000, 9);
+    let (a, b) = SyntheticDistribution::NarrowLowBand.support();
+    let mut rng = StdRng::seed_from_u64(2);
+    let sample = sample_without_replacement(&population, 20_000, &mut rng);
+    let ctx = BoundContext::new(a, b, population.len() as u64, 1e-15).unwrap();
+
+    let width_of = |kind: BounderKind| {
+        let mut est = kind.make_estimator();
+        for &v in &sample {
+            est.observe(v);
+        }
+        est.interval(&ctx).width()
+    };
+    let lbound_gap_of = |kind: BounderKind| {
+        let mut est = kind.make_estimator();
+        for &v in &sample {
+            est.observe(v);
+        }
+        est.estimate().unwrap() - est.lbound(&ctx)
+    };
+
+    assert!(
+        width_of(BounderKind::Bernstein) < 0.5 * width_of(BounderKind::Hoeffding),
+        "Bernstein should be much tighter than Hoeffding on concentrated data"
+    );
+    assert!(
+        lbound_gap_of(BounderKind::BernsteinRangeTrim)
+            < 0.2 * lbound_gap_of(BounderKind::Bernstein),
+        "RangeTrim should dramatically tighten the lower bound when the data sit far below b"
+    );
+}
+
+#[test]
+fn count_intervals_enclose_the_true_count() {
+    const DELTA: f64 = 1e-9;
+    let scramble_rows = 200_000u64;
+    let true_selectivity = 0.07;
+    let mut rng = StdRng::seed_from_u64(0xBEEF);
+    // Build the membership vector once, then scan random prefixes of random
+    // permutations (= without-replacement processing orders).
+    let membership: Vec<bool> = (0..scramble_rows)
+        .map(|i| (i as f64 / scramble_rows as f64) < true_selectivity)
+        .collect();
+    let true_count = membership.iter().filter(|&&m| m).count() as f64;
+
+    for trial in 0..30 {
+        let mut order: Vec<usize> = (0..scramble_rows as usize).collect();
+        order.shuffle(&mut rng);
+        let processed = 5_000 + trial * 3_000;
+        let mut tracker = SelectivityTracker::new(scramble_rows).unwrap();
+        for &row in &order[..processed] {
+            tracker.record(membership[row]);
+        }
+        let ci = tracker.count_ci(DELTA);
+        assert!(
+            ci.count.contains(true_count),
+            "count interval {:?} missed true count {true_count} after {processed} rows",
+            ci.count
+        );
+        let n_plus = tracker.n_plus_default(DELTA).unwrap();
+        assert!(
+            n_plus as f64 >= true_count,
+            "N+ = {n_plus} fell below the true view size {true_count}"
+        );
+    }
+}
+
+#[test]
+fn sum_intervals_compose_count_and_avg_correctly() {
+    let population = SyntheticDistribution::ConcentratedGaussian.generate(80_000, 5);
+    let (a, b) = SyntheticDistribution::ConcentratedGaussian.support();
+    let truth_sum: f64 = population.iter().sum();
+    let mut rng = StdRng::seed_from_u64(3);
+
+    for trial in 0..20 {
+        let m = 2_000 + trial * 1_000;
+        let sample = sample_without_replacement(&population, m, &mut rng);
+        // AVG interval over the sample.
+        let mut est = BounderKind::BernsteinRangeTrim.make_estimator();
+        for &v in &sample {
+            est.observe(v);
+        }
+        let avg_ci = est.interval(
+            &BoundContext::new(a, b, population.len() as u64, 0.5e-9).unwrap(),
+        );
+        // COUNT interval: here every row belongs to the view, so feed the
+        // tracker matched = true for the processed prefix.
+        let mut tracker = SelectivityTracker::new(population.len() as u64).unwrap();
+        tracker.record_batch(m as u64, m as u64);
+        let count_ci = tracker.count_ci(0.5e-9).count;
+        let sum_ci = sum_interval(&count_ci, &avg_ci);
+        assert!(
+            sum_ci.contains(truth_sum),
+            "sum interval {sum_ci:?} missed the true sum {truth_sum} at m = {m}"
+        );
+    }
+}

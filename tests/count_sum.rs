@@ -1,0 +1,118 @@
+//! Integration tests for COUNT and SUM aggregates end-to-end through the
+//! engine (§4.1): unknown-selectivity handling via N⁺, count intervals, and
+//! the composed SUM intervals.
+
+use fastframe_core::bounder::BounderKind;
+use fastframe_engine::config::{EngineConfig, SamplingStrategy};
+use fastframe_engine::query::AggQuery;
+use fastframe_engine::session::FastFrame;
+use fastframe_store::expr::Expr;
+use fastframe_store::predicate::Predicate;
+use fastframe_workloads::flights::{columns, FlightsConfig, FlightsDataset};
+
+fn frame() -> (FlightsDataset, FastFrame) {
+    let dataset = FlightsDataset::generate(FlightsConfig::small().rows(100_000).airports(40))
+        .expect("dataset generates");
+    let frame = FastFrame::from_table(&dataset.table, 55).expect("scramble builds");
+    (dataset, frame)
+}
+
+fn config() -> EngineConfig {
+    EngineConfig::with_bounder(BounderKind::BernsteinRangeTrim)
+        .strategy(SamplingStrategy::Scan)
+        .delta(1e-12)
+        .round_rows(10_000)
+        .seed(9)
+}
+
+#[test]
+fn count_of_filtered_rows_brackets_the_exact_count() {
+    let (_dataset, frame) = frame();
+    for airline in ["NW", "HP", "UA"] {
+        let query = AggQuery::count(format!("count-{airline}"))
+            .filter(Predicate::cat_eq(columns::AIRLINE, airline))
+            .relative_error(0.05)
+            .build();
+        let approx = frame.execute(&query, &config()).unwrap();
+        let exact = frame.execute_exact(&query).unwrap();
+        let truth = exact.global().unwrap().estimate.unwrap();
+        let g = approx.global().unwrap();
+        assert!(
+            g.ci.contains(truth),
+            "count CI {:?} missed exact count {truth} for {airline}",
+            g.ci
+        );
+        // The count interval carried alongside must agree.
+        assert!(g.count_ci.contains(truth));
+    }
+}
+
+#[test]
+fn grouped_count_intervals_bracket_every_group() {
+    let (_dataset, frame) = frame();
+    let query = AggQuery::count("count-by-airline")
+        .group_by(columns::AIRLINE)
+        .relative_error(0.1)
+        .build();
+    let approx = frame.execute(&query, &config()).unwrap();
+    let exact = frame.execute_exact(&query).unwrap();
+    assert_eq!(approx.groups.len(), exact.groups.len());
+    for eg in &exact.groups {
+        let ag = approx.groups.iter().find(|g| g.key == eg.key).unwrap();
+        assert!(
+            ag.ci.contains(eg.estimate.unwrap()),
+            "group {} count CI {:?} missed {}",
+            eg.key.display(),
+            ag.ci,
+            eg.estimate.unwrap()
+        );
+    }
+}
+
+#[test]
+fn sum_of_delays_brackets_the_exact_sum() {
+    let (_dataset, frame) = frame();
+    let query = AggQuery::sum("sum-delay-hp", Expr::col(columns::DEP_DELAY))
+        .filter(Predicate::cat_eq(columns::AIRLINE, "HP"))
+        .relative_error(0.2)
+        .build();
+    let approx = frame.execute(&query, &config()).unwrap();
+    let exact = frame.execute_exact(&query).unwrap();
+    let truth = exact.global().unwrap().estimate.unwrap();
+    let g = approx.global().unwrap();
+    // Allow for floating-point summation-order differences between the
+    // approximate executor (running mean × count) and the exact executor
+    // (Welford sum) when the interval is degenerate after a full pass.
+    let tol = 1e-9 * truth.abs();
+    assert!(
+        g.ci.lo - tol <= truth && truth <= g.ci.hi + tol,
+        "sum CI {:?} missed exact sum {truth}",
+        g.ci
+    );
+}
+
+#[test]
+fn grouped_sum_selects_the_same_top_group_as_exact() {
+    let (_dataset, frame) = frame();
+    // Which airline accounts for the largest total delay?
+    let query = AggQuery::sum("total-delay-by-airline", Expr::col(columns::DEP_DELAY))
+        .group_by(columns::AIRLINE)
+        .order_desc_limit(1)
+        .build();
+    let approx = frame.execute(&query, &config()).unwrap();
+    let exact = frame.execute_exact(&query).unwrap();
+    assert_eq!(approx.selected_labels(), exact.selected_labels());
+}
+
+#[test]
+fn count_star_without_filter_is_exactly_the_table_size_after_a_full_pass() {
+    let (_dataset, frame) = frame();
+    let query = AggQuery::count("count-all")
+        .stop_when(fastframe_core::stopping::StoppingCondition::AbsoluteWidth { epsilon: 0.0 })
+        .build();
+    let result = frame.execute(&query, &config()).unwrap();
+    assert!(!result.converged);
+    let g = result.global().unwrap();
+    assert_eq!(g.estimate, Some(100_000.0));
+    assert!(g.exact);
+}

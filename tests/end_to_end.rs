@@ -1,0 +1,145 @@
+//! End-to-end integration tests: the full F-q1 … F-q9 query suite over a
+//! (small) synthetic Flights dataset, executed approximately with every
+//! evaluated bounder and checked against the exact baseline — the
+//! "correctness of query results" metric of §5.3.
+
+use fastframe_core::bounder::BounderKind;
+use fastframe_engine::config::{EngineConfig, SamplingStrategy};
+use fastframe_engine::query::AggQuery;
+use fastframe_engine::session::FastFrame;
+use fastframe_workloads::flights::{FlightsConfig, FlightsDataset};
+use fastframe_workloads::queries::{all_default_queries, f_q1, f_q2, f_q3};
+
+fn small_frame() -> (FlightsDataset, FastFrame) {
+    let dataset = FlightsDataset::generate(FlightsConfig::small().rows(120_000).airports(40))
+        .expect("dataset generates");
+    let frame = FastFrame::from_table(&dataset.table, 99).expect("scramble builds");
+    (dataset, frame)
+}
+
+fn config(bounder: BounderKind) -> EngineConfig {
+    EngineConfig::with_bounder(bounder)
+        .strategy(SamplingStrategy::ActivePeek)
+        .delta(1e-12)
+        .round_rows(10_000)
+        .seed(5)
+}
+
+fn sorted_selection(frame: &FastFrame, query: &AggQuery, bounder: BounderKind) -> Vec<String> {
+    let result = frame.execute(query, &config(bounder)).expect("query runs");
+    let mut labels = result.selected_labels();
+    labels.sort();
+    labels
+}
+
+#[test]
+fn full_query_suite_matches_exact_selections_with_bernstein_rt() {
+    let (_dataset, frame) = small_frame();
+    for template in all_default_queries() {
+        let exact = frame.execute_exact(&template.query).expect("exact runs");
+        let mut expected = exact.selected_labels();
+        expected.sort();
+        let got = sorted_selection(&frame, &template.query, BounderKind::BernsteinRangeTrim);
+        assert_eq!(got, expected, "selection mismatch for {}", template.id);
+    }
+}
+
+#[test]
+fn every_bounder_agrees_with_exact_on_the_having_queries() {
+    let (_dataset, frame) = small_frame();
+    for template in [f_q2(0.0), f_q2(8.0)] {
+        let exact = frame.execute_exact(&template.query).expect("exact runs");
+        let mut expected = exact.selected_labels();
+        expected.sort();
+        for bounder in BounderKind::EVALUATED {
+            let got = sorted_selection(&frame, &template.query, bounder);
+            assert_eq!(
+                got, expected,
+                "selection mismatch for {} with {}",
+                template.query.name, bounder
+            );
+        }
+    }
+}
+
+#[test]
+fn approximate_estimates_lie_inside_their_intervals_and_cover_exact_values() {
+    let (_dataset, frame) = small_frame();
+    let template = f_q2(f64::NEG_INFINITY); // all airlines, grouped AVG
+    let exact = frame.execute_exact(&template.query).expect("exact runs");
+    for bounder in BounderKind::EVALUATED {
+        let approx = frame
+            .execute(&template.query, &config(bounder))
+            .expect("approx runs");
+        for eg in &exact.groups {
+            let ag = approx
+                .groups
+                .iter()
+                .find(|g| g.key == eg.key)
+                .unwrap_or_else(|| panic!("group {} missing", eg.key.display()));
+            let truth = eg.estimate.expect("exact estimate");
+            assert!(
+                ag.ci.contains(truth),
+                "{} interval {:?} misses exact {} for group {}",
+                bounder,
+                ag.ci,
+                truth,
+                eg.key.display()
+            );
+        }
+    }
+}
+
+#[test]
+fn blocks_fetched_ordering_bernstein_no_worse_than_hoeffding() {
+    let (_dataset, frame) = small_frame();
+    // F-q1 on the most popular airport: a dense, easy query where both
+    // bounders converge before the full pass and the ordering is meaningful.
+    let template = f_q1("ORD", 0.5);
+    let hoef = frame
+        .execute(&template.query, &config(BounderKind::Hoeffding))
+        .expect("hoeffding runs");
+    let bern = frame
+        .execute(&template.query, &config(BounderKind::BernsteinRangeTrim))
+        .expect("bernstein runs");
+    assert!(
+        bern.metrics.blocks_fetched() <= hoef.metrics.blocks_fetched(),
+        "Bernstein+RT fetched {} blocks, Hoeffding fetched {}",
+        bern.metrics.blocks_fetched(),
+        hoef.metrics.blocks_fetched()
+    );
+}
+
+#[test]
+fn approximate_never_fetches_more_blocks_than_exact() {
+    let (_dataset, frame) = small_frame();
+    for template in [f_q1("ORD", 0.5), f_q2(0.0), f_q3(1_200)] {
+        let exact = frame.execute_exact(&template.query).expect("exact runs");
+        for bounder in BounderKind::EVALUATED {
+            let approx = frame
+                .execute(&template.query, &config(bounder))
+                .expect("approx runs");
+            assert!(
+                approx.metrics.blocks_fetched() <= exact.metrics.blocks_fetched(),
+                "{} fetched more blocks than the exact scan for {}",
+                bounder,
+                template.query.name
+            );
+        }
+    }
+}
+
+#[test]
+fn results_are_reproducible_for_a_fixed_seed() {
+    let (_dataset, frame) = small_frame();
+    let template = f_q2(6.0);
+    let a = frame
+        .execute(&template.query, &config(BounderKind::BernsteinRangeTrim))
+        .expect("first run");
+    let b = frame
+        .execute(&template.query, &config(BounderKind::BernsteinRangeTrim))
+        .expect("second run");
+    assert_eq!(a.selected_labels(), b.selected_labels());
+    assert_eq!(a.metrics.blocks_fetched(), b.metrics.blocks_fetched());
+    assert_eq!(a.metrics.rounds, b.metrics.rounds);
+}

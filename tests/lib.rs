@@ -1,0 +1,4 @@
+//! Integration-test-only package; see the `[[test]]` targets in `Cargo.toml`.
+//!
+//! The library target exists only so that Cargo treats this directory as a
+//! workspace member; all substance lives in the test files next to it.

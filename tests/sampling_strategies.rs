@@ -1,0 +1,162 @@
+//! Integration tests for the sampling strategies (§4.3): all strategies must
+//! return the same (correct) answers, and the active-scanning strategies must
+//! never read more blocks than plain Scan for grouped queries.
+
+use fastframe_core::bounder::BounderKind;
+use fastframe_engine::config::{EngineConfig, SamplingStrategy};
+use fastframe_engine::session::FastFrame;
+use fastframe_workloads::flights::{FlightsConfig, FlightsDataset};
+use fastframe_workloads::queries::{f_q2, f_q5, f_q8, f_q9};
+
+fn frame() -> FastFrame {
+    let dataset = FlightsDataset::generate(FlightsConfig::small().rows(150_000).airports(60))
+        .expect("dataset generates");
+    FastFrame::from_table(&dataset.table, 31).expect("scramble builds")
+}
+
+fn config(strategy: SamplingStrategy) -> EngineConfig {
+    EngineConfig::with_bounder(BounderKind::BernsteinRangeTrim)
+        .strategy(strategy)
+        .delta(1e-12)
+        .round_rows(10_000)
+        .seed(17)
+}
+
+#[test]
+fn all_strategies_return_the_same_selection_as_exact() {
+    let frame = frame();
+    for template in [f_q2(0.0), f_q5(), f_q9()] {
+        let exact = frame.execute_exact(&template.query).expect("exact runs");
+        let mut expected = exact.selected_labels();
+        expected.sort();
+        for strategy in SamplingStrategy::ALL {
+            let result = frame
+                .execute(&template.query, &config(strategy))
+                .expect("query runs");
+            let mut got = result.selected_labels();
+            got.sort();
+            assert_eq!(
+                got, expected,
+                "strategy {strategy} disagreed with exact on {}",
+                template.query.name
+            );
+        }
+    }
+}
+
+#[test]
+fn active_strategies_fetch_no_more_blocks_than_scan_on_grouped_queries() {
+    let frame = frame();
+    for template in [f_q5(), f_q8()] {
+        let scan = frame
+            .execute(&template.query, &config(SamplingStrategy::Scan))
+            .expect("scan runs");
+        for strategy in [SamplingStrategy::ActiveSync, SamplingStrategy::ActivePeek] {
+            let active = frame
+                .execute(&template.query, &config(strategy))
+                .expect("active runs");
+            assert!(
+                active.metrics.blocks_fetched() <= scan.metrics.blocks_fetched(),
+                "{strategy} fetched {} blocks but Scan fetched {} for {}",
+                active.metrics.blocks_fetched(),
+                scan.metrics.blocks_fetched(),
+                template.query.name
+            );
+        }
+    }
+}
+
+#[test]
+fn active_sync_and_active_peek_fetch_identical_block_counts_per_round_structure() {
+    // ActivePeek makes the same decisions as ActiveSync, just computed one
+    // batch ahead; because the active set can be one round staler, it may
+    // fetch slightly *more* blocks, but never fewer, and the answers always
+    // agree.
+    let frame = frame();
+    let template = f_q5();
+    let sync = frame
+        .execute(&template.query, &config(SamplingStrategy::ActiveSync))
+        .expect("sync runs");
+    let peek = frame
+        .execute(&template.query, &config(SamplingStrategy::ActivePeek))
+        .expect("peek runs");
+    assert_eq!(sync.selected_labels(), peek.selected_labels());
+    assert!(
+        peek.metrics.blocks_fetched() >= sync.metrics.blocks_fetched(),
+        "lookahead decisions use a (possibly) staler active set, so ActivePeek can only fetch \
+         at least as many blocks as ActiveSync ({} vs {})",
+        peek.metrics.blocks_fetched(),
+        sync.metrics.blocks_fetched()
+    );
+}
+
+#[test]
+fn active_scanning_skips_blocks_once_groups_become_inactive() {
+    // The classic block-skipping scenario of §5.4.2: two dense groups whose
+    // threshold side is decided almost immediately, plus one *sparse* group
+    // whose mean sits right at the HAVING threshold so it can never be
+    // decided. Once the dense groups go inactive, most blocks contain no
+    // rows of the remaining active group and can be skipped via the bitmap
+    // index.
+    use fastframe_engine::query::AggQuery;
+    use fastframe_store::column::Column;
+    use fastframe_store::expr::Expr;
+    use fastframe_store::table::Table;
+
+    let n = 100_000usize;
+    let mut values = Vec::with_capacity(n);
+    let mut groups = Vec::with_capacity(n);
+    for i in 0..n {
+        let noise = ((i * 2_654_435_761) % 2000) as f64 / 100.0 - 10.0; // ±10
+        let (g, base) = if i % 100 == 0 {
+            ("rare", 20.0) // sits exactly on the threshold below
+        } else if i % 2 == 0 {
+            ("low", 5.0)
+        } else {
+            ("high", 60.0)
+        };
+        values.push((base + noise).clamp(0.0, 200.0));
+        groups.push(g.to_string());
+    }
+    let table = Table::new(vec![
+        Column::float("value", values),
+        Column::categorical("grp", &groups),
+    ])
+    .unwrap();
+    let frame = FastFrame::from_table(&table, 5).unwrap();
+
+    let query = AggQuery::avg("skipping", Expr::col("value"))
+        .group_by("grp")
+        .having_gt(20.0)
+        .build();
+    let result = frame
+        .execute(&query, &config(SamplingStrategy::ActiveSync))
+        .expect("query runs");
+    assert!(
+        result.metrics.scan.blocks_skipped > 0,
+        "expected at least some blocks to be skipped via the bitmap index"
+    );
+    assert!(result.metrics.scan.index_checks > 0);
+    // The dense groups were still answered correctly.
+    let exact = frame.execute_exact(&query).unwrap();
+    assert_eq!(result.selected_labels(), exact.selected_labels());
+}
+
+#[test]
+fn predicate_bitmap_skipping_applies_even_to_plain_scan() {
+    let frame = frame();
+    // A filter on a rare airport: most blocks contain no matching rows, and
+    // even the Scan strategy can skip them via the predicate bitmap.
+    let dataset = FlightsDataset::generate(FlightsConfig::small().rows(150_000).airports(60))
+        .expect("dataset generates");
+    let rare_airport = dataset.airport_codes.last().expect("airports exist").clone();
+    let template = fastframe_workloads::queries::f_q1(&rare_airport, 0.5);
+    let result = frame
+        .execute(&template.query, &config(SamplingStrategy::Scan))
+        .expect("query runs");
+    let exact = frame.execute_exact(&template.query).expect("exact runs");
+    assert!(
+        result.metrics.blocks_fetched() < exact.metrics.blocks_fetched(),
+        "predicate-level block skipping should reduce fetched blocks for a rare airport"
+    );
+}

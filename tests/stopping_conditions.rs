@@ -1,0 +1,185 @@
+//! Integration tests for the stopping conditions Ê–Ï (§4.2) at the query
+//! level: each condition terminates when (and only when) its semantic goal is
+//! actually achieved.
+
+use fastframe_core::bounder::BounderKind;
+use fastframe_core::stopping::StoppingCondition;
+use fastframe_engine::config::{EngineConfig, SamplingStrategy};
+use fastframe_engine::query::AggQuery;
+use fastframe_engine::session::FastFrame;
+use fastframe_store::column::Column;
+use fastframe_store::expr::Expr;
+use fastframe_store::table::Table;
+
+/// Three groups with well-separated means (10, 30, 60) inside a [0, 200]
+/// range, 60k rows.
+fn frame() -> FastFrame {
+    let n = 60_000usize;
+    let mut values = Vec::with_capacity(n);
+    let mut groups = Vec::with_capacity(n);
+    for i in 0..n {
+        let (g, base) = match i % 3 {
+            0 => ("low", 10.0),
+            1 => ("mid", 30.0),
+            _ => ("high", 60.0),
+        };
+        let noise = ((i * 2_654_435_761) % 2000) as f64 / 100.0 - 10.0; // ±10
+        values.push((base + noise).clamp(0.0, 200.0));
+        groups.push(g.to_string());
+    }
+    let table = Table::new(vec![
+        Column::float("value", values),
+        Column::categorical("grp", &groups),
+    ])
+    .unwrap();
+    FastFrame::from_table(&table, 77).unwrap()
+}
+
+fn config() -> EngineConfig {
+    EngineConfig::with_bounder(BounderKind::BernsteinRangeTrim)
+        .strategy(SamplingStrategy::Scan)
+        .delta(1e-9)
+        .round_rows(5_000)
+        .start_block(0)
+}
+
+#[test]
+fn sample_count_condition_stops_after_requested_samples() {
+    let frame = frame();
+    let query = AggQuery::avg("ê", Expr::col("value"))
+        .group_by("grp")
+        .sample_count(2_000)
+        .build();
+    let result = frame.execute(&query, &config()).unwrap();
+    assert!(result.converged);
+    for g in &result.groups {
+        assert!(g.samples >= 2_000, "group {} got {} samples", g.key.display(), g.samples);
+    }
+    // It should not have scanned everything.
+    assert!(result.metrics.scan.rows_scanned < 60_000);
+}
+
+#[test]
+fn absolute_width_condition_delivers_the_requested_width() {
+    let frame = frame();
+    let query = AggQuery::avg("ë", Expr::col("value"))
+        .group_by("grp")
+        .absolute_width(8.0)
+        .build();
+    let result = frame.execute(&query, &config()).unwrap();
+    assert!(result.converged);
+    for g in &result.groups {
+        assert!(
+            g.ci.width() < 8.0 + 1e-9,
+            "group {} width {}",
+            g.key.display(),
+            g.ci.width()
+        );
+    }
+}
+
+#[test]
+fn relative_error_condition_delivers_the_requested_relative_error() {
+    let frame = frame();
+    let query = AggQuery::avg("ì", Expr::col("value"))
+        .group_by("grp")
+        .relative_error(0.2)
+        .build();
+    let result = frame.execute(&query, &config()).unwrap();
+    let exact = frame.execute_exact(&query).unwrap();
+    assert!(result.converged);
+    for eg in &exact.groups {
+        let ag = result.groups.iter().find(|g| g.key == eg.key).unwrap();
+        let rel = (ag.estimate.unwrap() - eg.estimate.unwrap()).abs() / eg.estimate.unwrap();
+        assert!(rel < 0.2, "group {} relative error {rel}", eg.key.display());
+    }
+}
+
+#[test]
+fn threshold_condition_places_every_group_on_the_correct_side() {
+    let frame = frame();
+    let query = AggQuery::avg("í", Expr::col("value"))
+        .group_by("grp")
+        .having_gt(20.0)
+        .build();
+    let result = frame.execute(&query, &config()).unwrap();
+    assert!(result.converged);
+    let mut selected = result.selected_labels();
+    selected.sort();
+    assert_eq!(selected, vec!["high".to_string(), "mid".to_string()]);
+    // And the intervals genuinely exclude the threshold.
+    for g in &result.groups {
+        assert!(!g.ci.contains(20.0), "group {} CI {:?}", g.key.display(), g.ci);
+    }
+}
+
+#[test]
+fn top_k_condition_separates_the_top_group() {
+    let frame = frame();
+    let query = AggQuery::avg("î", Expr::col("value"))
+        .group_by("grp")
+        .order_desc_limit(1)
+        .build();
+    let result = frame.execute(&query, &config()).unwrap();
+    assert!(result.converged);
+    assert_eq!(result.selected_labels(), vec!["high".to_string()]);
+}
+
+#[test]
+fn groups_ordered_condition_yields_non_overlapping_intervals() {
+    let frame = frame();
+    let query = AggQuery::avg("ï", Expr::col("value"))
+        .group_by("grp")
+        .groups_ordered()
+        .build();
+    let result = frame.execute(&query, &config()).unwrap();
+    assert!(result.converged);
+    for (i, a) in result.groups.iter().enumerate() {
+        for b in result.groups.iter().skip(i + 1) {
+            assert!(
+                !a.ci.intersects(&b.ci),
+                "groups {} and {} still overlap: {:?} vs {:?}",
+                a.key.display(),
+                b.key.display(),
+                a.ci,
+                b.ci
+            );
+        }
+    }
+}
+
+#[test]
+fn impossible_condition_forces_a_full_exact_pass() {
+    let frame = frame();
+    let query = AggQuery::avg("impossible", Expr::col("value"))
+        .group_by("grp")
+        .stop_when(StoppingCondition::AbsoluteWidth { epsilon: 0.0 })
+        .build();
+    let result = frame.execute(&query, &config()).unwrap();
+    assert!(!result.converged);
+    let exact = frame.execute_exact(&query).unwrap();
+    for eg in &exact.groups {
+        let ag = result.groups.iter().find(|g| g.key == eg.key).unwrap();
+        assert!(ag.exact, "after a full pass the group result should be exact");
+        assert_eq!(ag.estimate, eg.estimate);
+    }
+}
+
+#[test]
+fn harder_conditions_require_more_data() {
+    let frame = frame();
+    let loose = AggQuery::avg("loose", Expr::col("value"))
+        .group_by("grp")
+        .absolute_width(20.0)
+        .build();
+    let tight = AggQuery::avg("tight", Expr::col("value"))
+        .group_by("grp")
+        .absolute_width(5.0)
+        .build();
+    let loose_r = frame.execute(&loose, &config()).unwrap();
+    let tight_r = frame.execute(&tight, &config()).unwrap();
+    assert!(
+        tight_r.metrics.blocks_fetched() >= loose_r.metrics.blocks_fetched(),
+        "a tighter width target must not require fewer blocks"
+    );
+}
