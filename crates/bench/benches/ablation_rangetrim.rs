@@ -36,8 +36,7 @@ fn main() {
                 for &v in &values {
                     est.observe(v);
                 }
-                let ctx = BoundContext::new(a, b, population, BENCH_DELTA)
-                    .expect("valid context");
+                let ctx = BoundContext::new(a, b, population, BENCH_DELTA).expect("valid context");
                 let ci = est.interval(&ctx);
                 let estimate = est.estimate().unwrap_or(f64::NAN);
                 let lower_gap = estimate - est.lbound(&ctx.with_delta(BENCH_DELTA * 0.5));

@@ -20,15 +20,19 @@ fn bench_update_state(c: &mut Criterion) {
     group.throughput(Throughput::Elements(values.len() as u64));
     group.sample_size(20);
     for kind in BounderKind::EVALUATED {
-        group.bench_with_input(BenchmarkId::from_parameter(kind.label()), &kind, |b, &kind| {
-            b.iter(|| {
-                let mut est = kind.make_estimator();
-                for &v in &values {
-                    est.observe(black_box(v));
-                }
-                black_box(est.count())
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.label()),
+            &kind,
+            |b, &kind| {
+                b.iter(|| {
+                    let mut est = kind.make_estimator();
+                    for &v in &values {
+                        est.observe(black_box(v));
+                    }
+                    black_box(est.count())
+                });
+            },
+        );
     }
     group.finish();
 }
@@ -45,9 +49,13 @@ fn bench_interval(c: &mut Criterion) {
         for &v in &values {
             est.observe(v);
         }
-        group.bench_with_input(BenchmarkId::from_parameter(kind.label()), &kind, |bench, _| {
-            bench.iter(|| black_box(est.interval(black_box(&ctx))));
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.label()),
+            &kind,
+            |bench, _| {
+                bench.iter(|| black_box(est.interval(black_box(&ctx))));
+            },
+        );
     }
     group.finish();
 }

@@ -17,7 +17,12 @@ fn main() {
 
     // The exact answer, for measuring achieved error.
     let exact = run_exact(&frame, &f_q1(airport, 0.5).query);
-    let truth = exact.result.global().expect("one group").estimate.expect("non-empty");
+    let truth = exact
+        .result
+        .global()
+        .expect("one group")
+        .estimate
+        .expect("non-empty");
 
     println!("# Figure 7(a) — requested vs. achieved relative error (F-q1, airport = {airport})");
     println!();

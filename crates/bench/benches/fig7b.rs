@@ -63,7 +63,12 @@ fn main() {
         let exact = run_exact(&frame, &template.query);
         let mut cells = vec![threshold.to_string()];
         for bounder in BounderKind::EVALUATED {
-            let m = run_approx(&frame, &template.query, bounder, SamplingStrategy::ActivePeek);
+            let m = run_approx(
+                &frame,
+                &template.query,
+                bounder,
+                SamplingStrategy::ActivePeek,
+            );
             assert_same_selection(&template.query.name, &m, &exact);
             cells.push(m.blocks_fetched.to_string());
         }

@@ -50,7 +50,11 @@ fn main() {
                 strategy,
             );
             assert_same_selection(&template.query.name, &m, &exact);
-            cells.push(format!("{:.2}x ({})", m.speedup_over(&scan), fmt_secs(m.wall)));
+            cells.push(format!(
+                "{:.2}x ({})",
+                m.speedup_over(&scan),
+                fmt_secs(m.wall)
+            ));
             if strategy == SamplingStrategy::ActivePeek {
                 peek_blocks = m.blocks_fetched;
             }

@@ -285,6 +285,10 @@ mod tests {
         let c = ctx(0.0, 100.0, 1_000_000, 1e-6);
         let r = b.rbound(&feed(&values), &c);
         let l = b.lbound(&feed(&reflected), &c);
-        assert!((r - (100.0 - l)).abs() < 1e-9, "r = {r}, 100 - l = {}", 100.0 - l);
+        assert!(
+            (r - (100.0 - l)).abs() < 1e-9,
+            "r = {r}, 100 - l = {}",
+            100.0 - l
+        );
     }
 }

@@ -88,7 +88,10 @@ pub struct BernsteinSerfling {
 impl BernsteinSerfling {
     /// Creates the bounder with the known population standard deviation.
     pub fn with_sigma(sigma: f64) -> Self {
-        assert!(sigma >= 0.0 && sigma.is_finite(), "sigma must be a non-negative finite number");
+        assert!(
+            sigma >= 0.0 && sigma.is_finite(),
+            "sigma must be a non-negative finite number"
+        );
         Self { sigma }
     }
 
@@ -125,7 +128,13 @@ impl ErrorBounder for BernsteinSerfling {
         if state.count() == 0 {
             return ctx.a;
         }
-        let eps = Self::epsilon(self.sigma, state.count(), ctx.n, ctx.range_width(), ctx.delta);
+        let eps = Self::epsilon(
+            self.sigma,
+            state.count(),
+            ctx.n,
+            ctx.range_width(),
+            ctx.delta,
+        );
         (state.mean() - eps).max(ctx.a)
     }
 
@@ -133,7 +142,13 @@ impl ErrorBounder for BernsteinSerfling {
         if state.count() == 0 {
             return ctx.b;
         }
-        let eps = Self::epsilon(self.sigma, state.count(), ctx.n, ctx.range_width(), ctx.delta);
+        let eps = Self::epsilon(
+            self.sigma,
+            state.count(),
+            ctx.n,
+            ctx.range_width(),
+            ctx.delta,
+        );
         (state.mean() + eps).min(ctx.b)
     }
 
@@ -252,7 +267,8 @@ mod tests {
         let eps = EmpiricalBernsteinSerfling::epsilon(2.0, 100, 100_000, 50.0, 0.01);
         let rho = EmpiricalBernsteinSerfling::rho(100, 100_000);
         let log_term = (5.0f64 / 0.01).ln();
-        let expected = 2.0 * (2.0 * rho * log_term / 100.0).sqrt() + KAPPA * 50.0 * log_term / 100.0;
+        let expected =
+            2.0 * (2.0 * rho * log_term / 100.0).sqrt() + KAPPA * 50.0 * log_term / 100.0;
         assert!((eps - expected).abs() < 1e-12);
     }
 
@@ -285,7 +301,9 @@ mod tests {
     fn high_variance_data_not_much_worse_than_hoeffding() {
         // Adversarial two-point data at the range endpoints: Bernstein should
         // be within a constant factor of Hoeffding (its worst case).
-        let values: Vec<f64> = (0..10_000).map(|i| if i % 2 == 0 { 0.0 } else { 1.0 }).collect();
+        let values: Vec<f64> = (0..10_000)
+            .map(|i| if i % 2 == 0 { 0.0 } else { 1.0 })
+            .collect();
         let st = feed(&values);
         let c = ctx(0.0, 1.0, 1_000_000, 1e-10);
 
@@ -306,15 +324,20 @@ mod tests {
     fn width_shrinks_when_outliers_pulled_in() {
         // No PMA: replacing the smallest observed values with larger ones
         // (closer to the mean) must shrink the interval width.
-        let with_outliers: Vec<f64> =
-            (0..1000).map(|i| if i % 100 == 0 { 0.0 } else { 500.0 }).collect();
-        let pulled_in: Vec<f64> =
-            (0..1000).map(|i| if i % 100 == 0 { 450.0 } else { 500.0 }).collect();
+        let with_outliers: Vec<f64> = (0..1000)
+            .map(|i| if i % 100 == 0 { 0.0 } else { 500.0 })
+            .collect();
+        let pulled_in: Vec<f64> = (0..1000)
+            .map(|i| if i % 100 == 0 { 450.0 } else { 500.0 })
+            .collect();
         let c = ctx(0.0, 1000.0, 1_000_000, 1e-10);
         let b = EmpiricalBernsteinSerfling::new();
         let w1 = b.interval(&feed(&with_outliers), &c).width();
         let w2 = b.interval(&feed(&pulled_in), &c).width();
-        assert!(w2 < w1, "pulled-in width {w2} should be < outlier width {w1}");
+        assert!(
+            w2 < w1,
+            "pulled-in width {w2} should be < outlier width {w1}"
+        );
     }
 
     #[test]
@@ -363,7 +386,10 @@ mod tests {
         let empirical = EmpiricalBernsteinSerfling::new();
         let w_empirical = empirical.interval(&feed(&values), &c).width();
 
-        assert!(w_oracle <= w_empirical, "oracle {w_oracle} vs empirical {w_empirical}");
+        assert!(
+            w_oracle <= w_empirical,
+            "oracle {w_oracle} vs empirical {w_empirical}"
+        );
         assert!(
             w_empirical < 5.0 * w_oracle,
             "empirical should be within a small factor of the oracle"

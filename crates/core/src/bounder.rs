@@ -361,9 +361,7 @@ impl BounderKind {
             BounderKind::HoeffdingRangeTrim => {
                 Box::new(Estimator::new(RangeTrim::new(HoeffdingSerfling::new())))
             }
-            BounderKind::Bernstein => {
-                Box::new(Estimator::new(EmpiricalBernsteinSerfling::new()))
-            }
+            BounderKind::Bernstein => Box::new(Estimator::new(EmpiricalBernsteinSerfling::new())),
             BounderKind::BernsteinRangeTrim => Box::new(Estimator::new(RangeTrim::new(
                 EmpiricalBernsteinSerfling::new(),
             ))),

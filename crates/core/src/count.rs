@@ -156,7 +156,8 @@ impl SelectivityTracker {
         }
         let sel_hat = self.selectivity_estimate();
         let one_sided_delta = (1.0 - alpha) * delta;
-        let eps = HoeffdingSerfling::epsilon(self.processed, self.scramble_rows, 1.0, one_sided_delta);
+        let eps =
+            HoeffdingSerfling::epsilon(self.processed, self.scramble_rows, 1.0, one_sided_delta);
         let bound = ((sel_hat + eps) * self.scramble_rows as f64).ceil();
         let clamped = bound.clamp(self.matching.max(1) as f64, self.scramble_rows as f64);
         Ok(clamped as u64)

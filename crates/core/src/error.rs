@@ -50,10 +50,16 @@ impl fmt::Display for CoreError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CoreError::InvalidRange { a, b } => {
-                write!(f, "invalid range bounds: a = {a}, b = {b} (need finite a <= b)")
+                write!(
+                    f,
+                    "invalid range bounds: a = {a}, b = {b} (need finite a <= b)"
+                )
             }
             CoreError::InvalidDelta { delta } => {
-                write!(f, "invalid error probability delta = {delta} (need 0 < delta < 1)")
+                write!(
+                    f,
+                    "invalid error probability delta = {delta} (need 0 < delta < 1)"
+                )
             }
             CoreError::EmptyPopulation => write!(f, "population size N must be positive"),
             CoreError::ValueOutOfRange { value, a, b } => {
@@ -88,7 +94,11 @@ mod tests {
         let e = CoreError::InvalidDelta { delta: 1.5 };
         assert!(e.to_string().contains("1.5"));
 
-        let e = CoreError::ValueOutOfRange { value: 7.0, a: 0.0, b: 1.0 };
+        let e = CoreError::ValueOutOfRange {
+            value: 7.0,
+            a: 0.0,
+            b: 1.0,
+        };
         assert!(e.to_string().contains("7"));
 
         let e = CoreError::TooManyDimensions { dims: 40, max: 20 };

@@ -75,7 +75,11 @@ pub enum Monotonicity {
 
 /// Derived range bounds `[min f, max f]` for an expression that is monotone
 /// in each of its inputs (Appendix B, case 1). Exact.
-pub fn monotone_bounds<F>(f: F, boxes: &[Interval], directions: &[Monotonicity]) -> CoreResult<(f64, f64)>
+pub fn monotone_bounds<F>(
+    f: F,
+    boxes: &[Interval],
+    directions: &[Monotonicity],
+) -> CoreResult<(f64, f64)>
 where
     F: Fn(&[f64]) -> f64,
 {
@@ -117,7 +121,10 @@ where
 {
     let n = boxes.len();
     if n > MAX_CORNER_DIMS {
-        return Err(CoreError::TooManyDimensions { dims: n, max: MAX_CORNER_DIMS });
+        return Err(CoreError::TooManyDimensions {
+            dims: n,
+            max: MAX_CORNER_DIMS,
+        });
     }
     if n == 0 {
         let v = f(&[]);
@@ -128,7 +135,11 @@ where
     let mut point = vec![0.0; n];
     for mask in 0u64..(1u64 << n) {
         for (i, p) in point.iter_mut().enumerate() {
-            *p = if mask & (1 << i) != 0 { boxes[i].hi } else { boxes[i].lo };
+            *p = if mask & (1 << i) != 0 {
+                boxes[i].hi
+            } else {
+                boxes[i].lo
+            };
         }
         let v = f(&point);
         lo = lo.min(v);
@@ -187,7 +198,13 @@ where
 
 /// Golden-section search along coordinate `i`, updating `x[i]` in place and
 /// returning the (possibly improved) objective value.
-fn golden_section_coordinate<F>(f: &F, x: &mut [f64], i: usize, range: Interval, current: f64) -> f64
+fn golden_section_coordinate<F>(
+    f: &F,
+    x: &mut [f64],
+    i: usize,
+    range: Interval,
+    current: f64,
+) -> f64
 where
     F: Fn(&[f64]) -> f64,
 {
@@ -332,7 +349,10 @@ mod tests {
         let boxes = [iv(-3.0, 1.0), iv(-1.0, 3.0)];
         let (lo, hi) = convex_bounds(f, &boxes, &DescentOptions::default()).unwrap();
         assert_eq!(hi, 100.0);
-        assert!(lo <= 0.0 && lo > -1e-3, "lo = {lo} should be ~0 (conservative)");
+        assert!(
+            lo <= 0.0 && lo > -1e-3,
+            "lo = {lo} should be ~0 (conservative)"
+        );
     }
 
     #[test]
@@ -378,12 +398,12 @@ mod tests {
         let (lo, hi) = convex_bounds(f, &boxes, &DescentOptions::default()).unwrap();
         for i in 0..=20 {
             for j in 0..=20 {
-                let c = [
-                    -1.0 + 3.0 * i as f64 / 20.0,
-                    0.0 + 1.5 * j as f64 / 20.0,
-                ];
+                let c = [-1.0 + 3.0 * i as f64 / 20.0, 0.0 + 1.5 * j as f64 / 20.0];
                 let v = f(&c);
-                assert!(v >= lo - 1e-9 && v <= hi + 1e-9, "f({c:?}) = {v} outside [{lo}, {hi}]");
+                assert!(
+                    v >= lo - 1e-9 && v <= hi + 1e-9,
+                    "f({c:?}) = {v} outside [{lo}, {hi}]"
+                );
             }
         }
     }

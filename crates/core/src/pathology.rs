@@ -151,7 +151,10 @@ pub fn pma_witness(kind: BounderKind, delta: f64) -> Option<PmaWitness> {
                     _ => 500.0 + (i % 7) as f64,
                 })
                 .collect();
-            let raised = orig.iter().map(|&x| if x == 100.0 { 450.0 } else { x }).collect();
+            let raised = orig
+                .iter()
+                .map(|&x| if x == 100.0 { 450.0 } else { x })
+                .collect();
             (orig, raised)
         }
         BounderKind::AndersonDkw | BounderKind::AndersonDkwRangeTrim => {
@@ -240,7 +243,10 @@ mod tests {
         let r = probe(BounderKind::Hoeffding, DELTA);
         assert!(r.pma && r.phos && r.constant_memory);
         let w = r.pma_witness.expect("PMA witness must exist");
-        assert!(widths_equal(&w), "Hoeffding widths should be identical: {w:?}");
+        assert!(
+            widths_equal(&w),
+            "Hoeffding widths should be identical: {w:?}"
+        );
         let p = r.phos_witness.expect("PHOS witness must exist");
         assert!(p.lbound_wider_b < p.lbound_base, "{p:?}");
     }
@@ -259,7 +265,10 @@ mod tests {
         let r = probe(BounderKind::AndersonDkw, DELTA);
         assert!(r.pma && !r.phos && !r.constant_memory);
         let w = r.pma_witness.expect("PMA witness must exist");
-        assert!(widths_equal(&w), "Anderson widths should be identical: {w:?}");
+        assert!(
+            widths_equal(&w),
+            "Anderson widths should be identical: {w:?}"
+        );
         assert!(r.phos_witness.is_none());
     }
 
@@ -278,7 +287,10 @@ mod tests {
         assert!(!r.phos, "RangeTrim should eliminate PHOS from Hoeffding");
         assert!(r.pma, "RangeTrim does not fix PMA for Hoeffding");
         let w = r.pma_witness.expect("PMA witness must exist");
-        assert!(widths_equal(&w), "Hoeffding+RT widths should be identical: {w:?}");
+        assert!(
+            widths_equal(&w),
+            "Hoeffding+RT widths should be identical: {w:?}"
+        );
     }
 
     #[test]
@@ -306,7 +318,10 @@ mod tests {
                 _ => 500.0 + (i % 7) as f64,
             })
             .collect();
-        let raised: Vec<f64> = orig.iter().map(|&x| if x == 100.0 { 450.0 } else { x }).collect();
+        let raised: Vec<f64> = orig
+            .iter()
+            .map(|&x| if x == 100.0 { 450.0 } else { x })
+            .collect();
         let w_orig = width_for(BounderKind::Bernstein, &orig, &ctx);
         let w_raised = width_for(BounderKind::Bernstein, &raised, &ctx);
         assert!(w_raised < w_orig, "{w_raised} should be < {w_orig}");

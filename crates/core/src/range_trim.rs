@@ -114,7 +114,9 @@ impl<B: ErrorBounder> ErrorBounder for RangeTrim<B> {
                 // bound so [a, b′] is a valid (possibly degenerate) range even
                 // if an observation sat exactly at a.
                 let trimmed_b = b_prime.max(ctx.a);
-                let inner_ctx = ctx.with_range(ctx.a, trimmed_b).with_n(ctx.n.saturating_sub(1).max(1));
+                let inner_ctx = ctx
+                    .with_range(ctx.a, trimmed_b)
+                    .with_n(ctx.n.saturating_sub(1).max(1));
                 self.inner.lbound(&state.left, &inner_ctx).max(ctx.a)
             }
         }
@@ -125,7 +127,9 @@ impl<B: ErrorBounder> ErrorBounder for RangeTrim<B> {
             None => ctx.b,
             Some(a_prime) => {
                 let trimmed_a = a_prime.min(ctx.b);
-                let inner_ctx = ctx.with_range(trimmed_a, ctx.b).with_n(ctx.n.saturating_sub(1).max(1));
+                let inner_ctx = ctx
+                    .with_range(trimmed_a, ctx.b)
+                    .with_n(ctx.n.saturating_sub(1).max(1));
                 self.inner.rbound(&state.right, &inner_ctx).min(ctx.b)
             }
         }
@@ -316,7 +320,9 @@ mod tests {
         // When observed min/max already equal the catalog bounds RangeTrim
         // loses one sample and splits nothing; width should be within a small
         // factor of the untrimmed bounder.
-        let values: Vec<f64> = (0..4_000).map(|i| if i % 2 == 0 { 0.0 } else { 100.0 }).collect();
+        let values: Vec<f64> = (0..4_000)
+            .map(|i| if i % 2 == 0 { 0.0 } else { 100.0 })
+            .collect();
         let c = ctx(0.0, 100.0, 1_000_000, 1e-10);
 
         let plain = EmpiricalBernsteinSerfling::new();

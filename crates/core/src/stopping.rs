@@ -112,9 +112,7 @@ impl StoppingCondition {
     /// them).
     pub fn active_groups(&self, all: &[GroupSnapshot]) -> Vec<usize> {
         match *self {
-            StoppingCondition::TopKSeparated { k, largest } => {
-                top_k_active_groups(all, k, largest)
-            }
+            StoppingCondition::TopKSeparated { k, largest } => top_k_active_groups(all, k, largest),
             StoppingCondition::GroupsOrdered => groups_ordered_active_groups(all),
             _ => all
                 .iter()
@@ -171,9 +169,17 @@ fn top_k_group_is_active(
     // Sort descending by estimate for top-K, ascending for bottom-K, so the
     // "selected" set is always the first k entries.
     if largest {
-        sorted.sort_by(|x, y| y.estimate.partial_cmp(&x.estimate).expect("estimates are not NaN"));
+        sorted.sort_by(|x, y| {
+            y.estimate
+                .partial_cmp(&x.estimate)
+                .expect("estimates are not NaN")
+        });
     } else {
-        sorted.sort_by(|x, y| x.estimate.partial_cmp(&y.estimate).expect("estimates are not NaN"));
+        sorted.sort_by(|x, y| {
+            x.estimate
+                .partial_cmp(&y.estimate)
+                .expect("estimates are not NaN")
+        });
     }
     let selected_boundary = sorted[k - 1].estimate;
     let rest_boundary = sorted[k].estimate;
@@ -205,9 +211,17 @@ fn top_k_active_groups(all: &[GroupSnapshot], k: usize, largest: bool) -> Vec<us
     }
     let mut sorted: Vec<&GroupSnapshot> = all.iter().collect();
     if largest {
-        sorted.sort_by(|x, y| y.estimate.partial_cmp(&x.estimate).expect("estimates are not NaN"));
+        sorted.sort_by(|x, y| {
+            y.estimate
+                .partial_cmp(&x.estimate)
+                .expect("estimates are not NaN")
+        });
     } else {
-        sorted.sort_by(|x, y| x.estimate.partial_cmp(&y.estimate).expect("estimates are not NaN"));
+        sorted.sort_by(|x, y| {
+            x.estimate
+                .partial_cmp(&y.estimate)
+                .expect("estimates are not NaN")
+        });
     }
     let midpoint = 0.5 * (sorted[k - 1].estimate + sorted[k].estimate);
     let mut active = Vec::new();
@@ -338,7 +352,10 @@ mod tests {
 
     #[test]
     fn top_k_separated_condition() {
-        let cond = StoppingCondition::TopKSeparated { k: 1, largest: true };
+        let cond = StoppingCondition::TopKSeparated {
+            k: 1,
+            largest: true,
+        };
         // Group 2 clearly above all others.
         let separated = vec![
             snap(0, 1.0, 0.5, 1.5, 10),
@@ -360,7 +377,10 @@ mod tests {
 
     #[test]
     fn bottom_k_separated_condition() {
-        let cond = StoppingCondition::TopKSeparated { k: 2, largest: false };
+        let cond = StoppingCondition::TopKSeparated {
+            k: 2,
+            largest: false,
+        };
         // Bottom-2 = groups 0 and 1; midpoint between estimates 2 (2nd
         // smallest) and 5 (3rd smallest) is 3.5.
         let separated = vec![
@@ -384,7 +404,10 @@ mod tests {
 
     #[test]
     fn top_k_with_fewer_groups_than_k_is_satisfied() {
-        let cond = StoppingCondition::TopKSeparated { k: 5, largest: true };
+        let cond = StoppingCondition::TopKSeparated {
+            k: 5,
+            largest: true,
+        };
         let groups = vec![snap(0, 1.0, 0.0, 2.0, 10), snap(1, 2.0, 1.0, 3.0, 10)];
         assert!(cond.is_satisfied(&groups));
         assert!(cond.active_groups(&groups).is_empty());
@@ -392,14 +415,21 @@ mod tests {
 
     #[test]
     fn describe_is_informative() {
-        assert!(StoppingCondition::SampleCount { m: 7 }.describe().contains('7'));
+        assert!(StoppingCondition::SampleCount { m: 7 }
+            .describe()
+            .contains('7'));
         assert!(StoppingCondition::ThresholdSide { threshold: 2.5 }
             .describe()
             .contains("2.5"));
-        assert!(StoppingCondition::TopKSeparated { k: 3, largest: false }
+        assert!(StoppingCondition::TopKSeparated {
+            k: 3,
+            largest: false
+        }
+        .describe()
+        .contains("bottom-3"));
+        assert!(StoppingCondition::GroupsOrdered
             .describe()
-            .contains("bottom-3"));
-        assert!(StoppingCondition::GroupsOrdered.describe().contains("ordered"));
+            .contains("ordered"));
     }
 
     #[test]
@@ -416,7 +446,9 @@ mod tests {
         // Simple deterministic LCG so the test needs no RNG dependency.
         let mut seed: u64 = 0x1234_5678;
         let mut next = || {
-            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((seed >> 33) as f64) / (u32::MAX as f64)
         };
         for trial in 0..200 {
@@ -430,10 +462,22 @@ mod tests {
                 .collect();
             let conditions = [
                 StoppingCondition::GroupsOrdered,
-                StoppingCondition::TopKSeparated { k: 1, largest: true },
-                StoppingCondition::TopKSeparated { k: 2, largest: true },
-                StoppingCondition::TopKSeparated { k: 2, largest: false },
-                StoppingCondition::TopKSeparated { k: n + 1, largest: true },
+                StoppingCondition::TopKSeparated {
+                    k: 1,
+                    largest: true,
+                },
+                StoppingCondition::TopKSeparated {
+                    k: 2,
+                    largest: true,
+                },
+                StoppingCondition::TopKSeparated {
+                    k: 2,
+                    largest: false,
+                },
+                StoppingCondition::TopKSeparated {
+                    k: n + 1,
+                    largest: true,
+                },
             ];
             for cond in conditions {
                 let mut fast = cond.active_groups(&groups);

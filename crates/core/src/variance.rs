@@ -166,14 +166,21 @@ mod tests {
 
     #[test]
     fn matches_naive_computation() {
-        let values: Vec<f64> = (0..1000).map(|i| (i as f64 * 0.37).sin() * 100.0 + 12.0).collect();
+        let values: Vec<f64> = (0..1000)
+            .map(|i| (i as f64 * 0.37).sin() * 100.0 + 12.0)
+            .collect();
         let mut m = RunningMoments::new();
         for &v in &values {
             m.push(v);
         }
         let (mean, var) = naive_stats(&values);
         assert!((m.mean() - mean).abs() < 1e-9, "{} vs {}", m.mean(), mean);
-        assert!((m.variance() - var).abs() < 1e-6, "{} vs {}", m.variance(), var);
+        assert!(
+            (m.variance() - var).abs() < 1e-6,
+            "{} vs {}",
+            m.variance(),
+            var
+        );
     }
 
     #[test]

@@ -24,9 +24,9 @@ impl std::fmt::Display for EngineError {
         match self {
             EngineError::Store(e) => write!(f, "storage error: {e}"),
             EngineError::Core(e) => write!(f, "statistics error: {e}"),
-            EngineError::InvalidGroupBy { column } =>
-
-                write!(f, "GROUP BY column `{column}` must be categorical"),
+            EngineError::InvalidGroupBy { column } => {
+                write!(f, "GROUP BY column `{column}` must be categorical")
+            }
             EngineError::EmptyScramble => write!(f, "cannot query an empty scramble"),
         }
     }
@@ -71,7 +71,9 @@ mod tests {
         assert!(matches!(e, EngineError::Core(_)));
         assert!(e.to_string().contains("statistics error"));
 
-        let e = EngineError::InvalidGroupBy { column: "delay".into() };
+        let e = EngineError::InvalidGroupBy {
+            column: "delay".into(),
+        };
         assert!(e.to_string().contains("delay"));
         assert!(EngineError::EmptyScramble.to_string().contains("empty"));
     }

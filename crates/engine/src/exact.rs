@@ -215,7 +215,9 @@ mod tests {
         ));
 
         let s = scramble();
-        let q = AggQuery::avg("q", Expr::col("delay")).group_by("delay").build();
+        let q = AggQuery::avg("q", Expr::col("delay"))
+            .group_by("delay")
+            .build();
         assert!(matches!(
             execute_exact(&s, &q),
             Err(EngineError::InvalidGroupBy { .. })

@@ -44,7 +44,8 @@ use crate::view::AggregateView;
 /// A batch planner: maps a batch of blocks (plus the following batch, for
 /// lookahead prefetching) and the current active set to fetch/skip decisions
 /// and the number of bitmap probes performed.
-type BatchPlannerFn<'a> = dyn FnMut(&[BlockId], Option<&[BlockId]>, &ActiveSet) -> (Vec<bool>, u64) + 'a;
+type BatchPlannerFn<'a> =
+    dyn FnMut(&[BlockId], Option<&[BlockId]>, &ActiveSet) -> (Vec<bool>, u64) + 'a;
 
 /// A query bound against a particular scramble.
 struct BoundQuery {
@@ -69,9 +70,11 @@ fn bind_query(scramble: &Scramble, query: &AggQuery) -> EngineResult<BoundQuery>
     let mut view_parts: usize = 1;
     for name in &query.group_by {
         let col = table.column(name)?;
-        let cardinality = col.cardinality().ok_or_else(|| EngineError::InvalidGroupBy {
-            column: name.clone(),
-        })?;
+        let cardinality = col
+            .cardinality()
+            .ok_or_else(|| EngineError::InvalidGroupBy {
+                column: name.clone(),
+            })?;
         view_parts = view_parts.saturating_mul(cardinality.max(1));
         group_cols.push(table.column_index(name)?);
     }
@@ -162,11 +165,7 @@ enum GroupLookup {
 }
 
 impl GroupLookup {
-    fn build(
-        group_cols: &[usize],
-        table: &Table,
-        lookup: HashMap<Vec<u32>, usize>,
-    ) -> Self {
+    fn build(group_cols: &[usize], table: &Table, lookup: HashMap<Vec<u32>, usize>) -> Self {
         match group_cols {
             [] => GroupLookup::Global,
             [column] => {
@@ -276,7 +275,8 @@ pub fn execute_approx(
     let scramble_rows = scramble.num_rows() as u64;
 
     // δ budgeting: split across aggregate views (union bound, §4.1).
-    let view_budget = DeltaBudget::new(DeltaBudget::new(config.delta)?.split_even(bound.view_parts))?;
+    let view_budget =
+        DeltaBudget::new(DeltaBudget::new(config.delta)?.split_even(bound.view_parts))?;
 
     // Group universe and per-group views.
     let (keys, view_lookup) = enumerate_groups(table, &bound.group_cols);
@@ -333,8 +333,17 @@ pub fn execute_approx(
                 plan_batch(&ctx, chunk, active)
             };
             run_scan_loop(
-                scramble, query, config, &bound, &view_budget, scramble_rows, &blocks,
-                round_blocks, batch_size, &mut state, &mut planner,
+                scramble,
+                query,
+                config,
+                &bound,
+                &view_budget,
+                scramble_rows,
+                &blocks,
+                round_blocks,
+                batch_size,
+                &mut state,
+                &mut planner,
             )?;
         }
         SamplingStrategy::ActivePeek => {
@@ -364,8 +373,17 @@ pub fn execute_approx(
                         current
                     };
                 let out = run_scan_loop(
-                    scramble, query, config, &bound, &view_budget, scramble_rows, &blocks,
-                    round_blocks, batch_size, &mut state, &mut planner,
+                    scramble,
+                    query,
+                    config,
+                    &bound,
+                    &view_budget,
+                    scramble_rows,
+                    &blocks,
+                    round_blocks,
+                    batch_size,
+                    &mut state,
+                    &mut planner,
                 );
                 // `peek` is dropped before the scope ends, closing the
                 // request channel so the worker thread exits before the scope
@@ -458,13 +476,7 @@ fn run_scan_loop(
 
             if fetched_since_round >= round_blocks {
                 fetched_since_round = 0;
-                let satisfied = evaluate_round(
-                    query,
-                    config,
-                    view_budget,
-                    scramble_rows,
-                    state,
-                )?;
+                let satisfied = evaluate_round(query, config, view_budget, scramble_rows, state)?;
                 if satisfied {
                     state.converged = true;
                     break 'batches;
@@ -629,7 +641,10 @@ mod tests {
             .group_by("airline")
             .having_gt(15.0)
             .build();
-        let cfg = fast_config(BounderKind::BernsteinRangeTrim, SamplingStrategy::ActiveSync);
+        let cfg = fast_config(
+            BounderKind::BernsteinRangeTrim,
+            SamplingStrategy::ActiveSync,
+        );
         let r = execute_approx(&s, &q, &cfg).unwrap();
         let mut selected = r.selected_labels();
         selected.sort();
@@ -644,7 +659,10 @@ mod tests {
             .group_by("airline")
             .order_desc_limit(1)
             .build();
-        let cfg = fast_config(BounderKind::BernsteinRangeTrim, SamplingStrategy::ActivePeek);
+        let cfg = fast_config(
+            BounderKind::BernsteinRangeTrim,
+            SamplingStrategy::ActivePeek,
+        );
         let r = execute_approx(&s, &q, &cfg).unwrap();
         assert_eq!(r.selected_labels(), vec!["CC".to_string()]);
     }
@@ -659,7 +677,11 @@ mod tests {
         for strategy in SamplingStrategy::ALL {
             let cfg = fast_config(BounderKind::BernsteinRangeTrim, strategy);
             let r = execute_approx(&s, &q, &cfg).unwrap();
-            assert_eq!(r.selected_labels(), vec!["AA".to_string()], "strategy {strategy}");
+            assert_eq!(
+                r.selected_labels(),
+                vec!["AA".to_string()],
+                "strategy {strategy}"
+            );
         }
     }
 
@@ -751,7 +773,11 @@ mod tests {
                 5.0 + noise
             })
             .sum();
-        assert!(g.ci.contains(true_sum), "{:?} should contain {true_sum}", g.ci);
+        assert!(
+            g.ci.contains(true_sum),
+            "{:?} should contain {true_sum}",
+            g.ci
+        );
     }
 
     #[test]
@@ -766,7 +792,11 @@ mod tests {
         let cfg = fast_config(BounderKind::BernsteinRangeTrim, SamplingStrategy::Scan);
         let r = execute_approx(&s, &q, &cfg).unwrap();
         let g = r.global().unwrap();
-        assert!(g.ci.lo > 10.0, "CC's mean (~40) is decisively above 10: {:?}", g.ci);
+        assert!(
+            g.ci.lo > 10.0,
+            "CC's mean (~40) is decisively above 10: {:?}",
+            g.ci
+        );
         assert!(r.converged);
     }
 
@@ -783,7 +813,10 @@ mod tests {
         assert!(!r.converged);
         for g in &r.groups {
             assert!(g.exact);
-            assert!(g.ci.width() < 1e-6, "exact interval should be (nearly) degenerate");
+            assert!(
+                g.ci.width() < 1e-6,
+                "exact interval should be (nearly) degenerate"
+            );
         }
         // Sanity: the exact group means are the expected ones.
         let mean_of = |label: &str| {
@@ -850,10 +883,7 @@ mod tests {
         cfg.seed = 123;
         let a = execute_approx(&s, &q, &cfg).unwrap();
         let b = execute_approx(&s, &q, &cfg).unwrap();
-        assert_eq!(
-            a.global().unwrap().estimate,
-            b.global().unwrap().estimate
-        );
+        assert_eq!(a.global().unwrap().estimate, b.global().unwrap().estimate);
         assert_eq!(a.metrics.blocks_fetched(), b.metrics.blocks_fetched());
     }
 }

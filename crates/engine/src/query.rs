@@ -236,7 +236,10 @@ mod tests {
         assert_eq!(q.filter, Predicate::True);
         assert!(q.having.is_none());
         assert!(q.order.is_none());
-        assert!(matches!(q.stopping, StoppingCondition::RelativeError { .. }));
+        assert!(matches!(
+            q.stopping,
+            StoppingCondition::RelativeError { .. }
+        ));
     }
 
     #[test]
@@ -253,9 +256,14 @@ mod tests {
                 threshold: 5.0
             })
         );
-        assert_eq!(q.stopping, StoppingCondition::ThresholdSide { threshold: 5.0 });
+        assert_eq!(
+            q.stopping,
+            StoppingCondition::ThresholdSide { threshold: 5.0 }
+        );
 
-        let q = AggQuery::avg("q", Expr::col("delay")).having_lt(0.0).build();
+        let q = AggQuery::avg("q", Expr::col("delay"))
+            .having_lt(0.0)
+            .build();
         assert_eq!(q.having.unwrap().op, CmpOp::Lt);
     }
 
@@ -274,7 +282,10 @@ mod tests {
         );
         assert_eq!(
             q.stopping,
-            StoppingCondition::TopKSeparated { k: 5, largest: true }
+            StoppingCondition::TopKSeparated {
+                k: 5,
+                largest: true
+            }
         );
 
         let q = AggQuery::avg("q", Expr::col("delay"))
@@ -283,16 +294,29 @@ mod tests {
             .build();
         assert_eq!(
             q.stopping,
-            StoppingCondition::TopKSeparated { k: 2, largest: false }
+            StoppingCondition::TopKSeparated {
+                k: 2,
+                largest: false
+            }
         );
     }
 
     #[test]
     fn explicit_stopping_conditions() {
-        let q = AggQuery::avg("q", Expr::col("x")).relative_error(0.5).build();
-        assert_eq!(q.stopping, StoppingCondition::RelativeError { epsilon: 0.5 });
-        let q = AggQuery::avg("q", Expr::col("x")).absolute_width(1.0).build();
-        assert_eq!(q.stopping, StoppingCondition::AbsoluteWidth { epsilon: 1.0 });
+        let q = AggQuery::avg("q", Expr::col("x"))
+            .relative_error(0.5)
+            .build();
+        assert_eq!(
+            q.stopping,
+            StoppingCondition::RelativeError { epsilon: 0.5 }
+        );
+        let q = AggQuery::avg("q", Expr::col("x"))
+            .absolute_width(1.0)
+            .build();
+        assert_eq!(
+            q.stopping,
+            StoppingCondition::AbsoluteWidth { epsilon: 1.0 }
+        );
         let q = AggQuery::avg("q", Expr::col("x")).groups_ordered().build();
         assert_eq!(q.stopping, StoppingCondition::GroupsOrdered);
         let q = AggQuery::avg("q", Expr::col("x")).sample_count(500).build();
@@ -300,7 +324,10 @@ mod tests {
         let q = AggQuery::avg("q", Expr::col("x"))
             .stop_when(StoppingCondition::ThresholdSide { threshold: 1.0 })
             .build();
-        assert_eq!(q.stopping, StoppingCondition::ThresholdSide { threshold: 1.0 });
+        assert_eq!(
+            q.stopping,
+            StoppingCondition::ThresholdSide { threshold: 1.0 }
+        );
     }
 
     #[test]

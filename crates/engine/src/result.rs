@@ -181,7 +181,12 @@ mod tests {
             .group_by("g")
             .order_desc_limit(2)
             .build();
-        let groups = vec![group("a", 3.0), group("b", 7.0), group("c", 5.5), group("d", 9.0)];
+        let groups = vec![
+            group("a", 3.0),
+            group("b", 7.0),
+            group("c", 5.5),
+            group("d", 9.0),
+        ];
         assert_eq!(select_groups(&q, &groups), vec![3, 1]);
 
         let q = AggQuery::avg("q", Expr::col("x"))

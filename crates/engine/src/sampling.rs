@@ -87,8 +87,8 @@ impl<'a> PlanContext<'a> {
             .iter()
             .map(|c| scramble.bitmap_index(c))
             .collect();
-        let predicate_index = predicate_eq
-            .and_then(|(col, code)| scramble.bitmap_index(&col).map(|idx| (idx, code)));
+        let predicate_index =
+            predicate_eq.and_then(|(col, code)| scramble.bitmap_index(&col).map(|idx| (idx, code)));
         Self {
             group_indexes,
             predicate_index,
@@ -143,7 +143,11 @@ impl<'a> PlanContext<'a> {
 
 /// Plans a batch of blocks: returns a fetch/skip decision per block plus the
 /// total number of bitmap probes performed.
-pub fn plan_batch(ctx: &PlanContext<'_>, blocks: &[BlockId], active: &ActiveSet) -> (Vec<bool>, u64) {
+pub fn plan_batch(
+    ctx: &PlanContext<'_>,
+    blocks: &[BlockId],
+    active: &ActiveSet,
+) -> (Vec<bool>, u64) {
     let mut decisions = Vec::with_capacity(blocks.len());
     let mut checks = 0u64;
     for &b in blocks {
@@ -191,7 +195,10 @@ impl PeekPlanner {
         let worker = move || {
             while let Ok(req) = request_rx.recv() {
                 let (decisions, checks) = plan_batch(&ctx, &req.blocks, &req.active);
-                if response_tx.send(PeekResponse { decisions, checks }).is_err() {
+                if response_tx
+                    .send(PeekResponse { decisions, checks })
+                    .is_err()
+                {
                     break;
                 }
             }
@@ -247,10 +254,22 @@ mod tests {
     /// cross-check decisions.
     fn scramble() -> Scramble {
         let groups: Vec<String> = (0..200)
-            .map(|i| if i < 25 { "hot".to_string() } else { format!("g{}", i % 5) })
+            .map(|i| {
+                if i < 25 {
+                    "hot".to_string()
+                } else {
+                    format!("g{}", i % 5)
+                }
+            })
             .collect();
         let preds: Vec<String> = (0..200)
-            .map(|i| if i % 2 == 0 { "yes".to_string() } else { "no".to_string() })
+            .map(|i| {
+                if i % 2 == 0 {
+                    "yes".to_string()
+                } else {
+                    "no".to_string()
+                }
+            })
             .collect();
         let t = Table::new(vec![
             Column::float("x", (0..200).map(|i| i as f64).collect()),
@@ -282,12 +301,7 @@ mod tests {
         let s = scramble();
         let p_code = s.table().column("p").unwrap().code_of("yes").unwrap();
         for strategy in SamplingStrategy::ALL {
-            let ctx = PlanContext::new(
-                &s,
-                &[],
-                Some(("p".to_string(), p_code)),
-                strategy,
-            );
+            let ctx = PlanContext::new(&s, &[], Some(("p".to_string(), p_code)), strategy);
             let blocks: Vec<BlockId> = (0..s.num_blocks()).map(BlockId).collect();
             let (decisions, checks) = plan_batch(&ctx, &blocks, &ActiveSet::all_active());
             // "yes" appears in every block with overwhelming probability

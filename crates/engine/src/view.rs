@@ -138,13 +138,8 @@ impl AggregateView {
         round_delta: f64,
         alpha: f64,
     ) -> CoreResult<GroupSnapshot> {
-        let (agg_ci, count_ci) = self.intervals(
-            aggregate,
-            rows_scanned,
-            scramble_rows,
-            round_delta,
-            alpha,
-        )?;
+        let (agg_ci, count_ci) =
+            self.intervals(aggregate, rows_scanned, scramble_rows, round_delta, alpha)?;
         let agg_running = self.running_agg.update(agg_ci);
         self.running_count.update(count_ci);
         Ok(GroupSnapshot {
@@ -174,7 +169,10 @@ impl AggregateView {
         alpha: f64,
     ) -> CoreResult<(Ci, Ci)> {
         let mut tracker = SelectivityTracker::new(scramble_rows)?;
-        tracker.record_batch(self.rows_accounted(rows_scanned, scramble_rows), self.matched);
+        tracker.record_batch(
+            self.rows_accounted(rows_scanned, scramble_rows),
+            self.matched,
+        );
 
         // When rows with unknown membership were skipped, the selectivity
         // point estimate may be biased high; the Lemma-5 *upper* bound stays
@@ -211,12 +209,7 @@ impl AggregateView {
 
     /// The Theorem 3 AVG interval: `N⁺` from a `(1 − α)` share of the budget,
     /// the bounder interval from the remaining `α` share.
-    fn avg_interval(
-        &self,
-        tracker: &SelectivityTracker,
-        delta: f64,
-        alpha: f64,
-    ) -> CoreResult<Ci> {
+    fn avg_interval(&self, tracker: &SelectivityTracker, delta: f64, alpha: f64) -> CoreResult<Ci> {
         let (a, b) = self.range;
         if self.matched == 0 {
             return Ok(Ci::full_range(a, b));
@@ -260,13 +253,8 @@ impl AggregateView {
         alpha: f64,
         exact: bool,
     ) -> CoreResult<GroupResult> {
-        let snapshot = self.round_update(
-            aggregate,
-            rows_scanned,
-            scramble_rows,
-            round_delta,
-            alpha,
-        )?;
+        let snapshot =
+            self.round_update(aggregate, rows_scanned, scramble_rows, round_delta, alpha)?;
         let estimate = self.aggregate_estimate(aggregate, rows_scanned, scramble_rows);
         // Exact results collapse the interval onto the estimate, widened by a
         // relative 1e-9 so that downstream comparisons against independently
@@ -429,7 +417,10 @@ mod tests {
             .finalize(AggregateFunction::Avg, 100_000, 100_000, 1e-9, 0.99, true)
             .unwrap();
         assert!(r.exact);
-        assert!(r.ci.width() < 1e-6, "exact interval should be (nearly) degenerate");
+        assert!(
+            r.ci.width() < 1e-6,
+            "exact interval should be (nearly) degenerate"
+        );
         assert!(r.count_ci.contains(1_000.0) && r.count_ci.width() < 1e-5);
         assert_eq!(r.samples, 1_000);
 

@@ -89,11 +89,13 @@ impl BlockBitmapIndex {
     ///
     /// Returns a type error if the column is not categorical.
     pub fn build(column: &Column, layout: &BlockLayout) -> StoreResult<Self> {
-        let dictionary = column.dictionary().ok_or_else(|| StoreError::TypeMismatch {
-            name: column.name().to_string(),
-            expected: "categorical",
-            actual: column.data_type(),
-        })?;
+        let dictionary = column
+            .dictionary()
+            .ok_or_else(|| StoreError::TypeMismatch {
+                name: column.name().to_string(),
+                expected: "categorical",
+                actual: column.data_type(),
+            })?;
         let num_blocks = layout.num_blocks();
         let mut per_value = vec![BitSet::new(num_blocks); dictionary.len()];
         for block in 0..num_blocks {

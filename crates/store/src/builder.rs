@@ -112,7 +112,11 @@ impl TableBuilder {
 
     /// Number of complete rows appended so far (the minimum column length).
     pub fn rows(&self) -> usize {
-        self.columns.iter().map(PendingColumn::len).min().unwrap_or(0)
+        self.columns
+            .iter()
+            .map(PendingColumn::len)
+            .min()
+            .unwrap_or(0)
     }
 
     /// Finalizes the builder into an immutable [`Table`].
@@ -159,7 +163,10 @@ mod tests {
         assert_eq!(b.rows(), 3);
         let table = b.build().unwrap();
         assert_eq!(table.num_rows(), 3);
-        assert_eq!(table.value("airline", 2).unwrap(), Some(Value::Str("UA".into())));
+        assert_eq!(
+            table.value("airline", 2).unwrap(),
+            Some(Value::Str("UA".into()))
+        );
         assert_eq!(table.column("airline").unwrap().cardinality(), Some(2));
         assert_eq!(table.value("dep_time", 1).unwrap(), Some(Value::Int(1230)));
     }

@@ -71,9 +71,11 @@ impl Catalog {
 
     /// Statistics for one column.
     pub fn column(&self, name: &str) -> StoreResult<&ColumnStats> {
-        self.columns.get(name).ok_or_else(|| StoreError::UnknownColumn {
-            name: name.to_string(),
-        })
+        self.columns
+            .get(name)
+            .ok_or_else(|| StoreError::UnknownColumn {
+                name: name.to_string(),
+            })
     }
 
     /// The `[a, b]` range bounds of a numeric column.

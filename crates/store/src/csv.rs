@@ -102,7 +102,7 @@ pub fn read_csv<R: BufRead>(reader: R, options: &CsvOptions) -> StoreResult<Tabl
     let mut builder_initialized = false;
     let mut loaded = 0usize;
 
-    let mut push_row = |builder: &mut TableBuilder, types: &[Option<DataType>], fields: &[String]| {
+    let push_row = |builder: &mut TableBuilder, types: &[Option<DataType>], fields: &[String]| {
         for (i, t) in types.iter().enumerate() {
             let raw = fields.get(i).map(String::as_str).unwrap_or("").trim();
             match t.expect("types resolved before pushing") {
@@ -174,8 +174,14 @@ mod tests {
         let t = read_csv(sample_csv().as_bytes(), &CsvOptions::new()).unwrap();
         assert_eq!(t.num_rows(), 4);
         assert_eq!(t.num_columns(), 4);
-        assert_eq!(t.column("origin").unwrap().data_type(), DataType::Categorical);
-        assert_eq!(t.column("airline").unwrap().data_type(), DataType::Categorical);
+        assert_eq!(
+            t.column("origin").unwrap().data_type(),
+            DataType::Categorical
+        );
+        assert_eq!(
+            t.column("airline").unwrap().data_type(),
+            DataType::Categorical
+        );
         assert_eq!(t.column("delay").unwrap().data_type(), DataType::Float64);
         assert_eq!(t.column("dep_time").unwrap().data_type(), DataType::Int64);
         assert_eq!(t.value("delay", 2).unwrap(), Some(Value::Float(12.25)));
@@ -206,8 +212,14 @@ mod tests {
             .override_type("delay", DataType::Categorical);
         let t = read_csv(sample_csv().as_bytes(), &opts).unwrap();
         assert_eq!(t.column("dep_time").unwrap().data_type(), DataType::Float64);
-        assert_eq!(t.column("delay").unwrap().data_type(), DataType::Categorical);
-        assert_eq!(t.value("delay", 0).unwrap(), Some(Value::Str("5.5".to_string())));
+        assert_eq!(
+            t.column("delay").unwrap().data_type(),
+            DataType::Categorical
+        );
+        assert_eq!(
+            t.value("delay", 0).unwrap(),
+            Some(Value::Str("5.5".to_string()))
+        );
     }
 
     #[test]

@@ -238,7 +238,10 @@ mod tests {
     #[test]
     fn referenced_columns_deduplicated_in_order() {
         let expr = Expr::col("c2").add(Expr::col("c1").mul(Expr::col("c2")));
-        assert_eq!(expr.referenced_columns(), vec!["c2".to_string(), "c1".to_string()]);
+        assert_eq!(
+            expr.referenced_columns(),
+            vec!["c2".to_string(), "c1".to_string()]
+        );
     }
 
     #[test]
@@ -279,28 +282,50 @@ mod tests {
         assert_eq!(Expr::col("c1").range_bounds(&catalog).unwrap(), (-3.0, 1.0));
         assert_eq!(Expr::lit(5.0).range_bounds(&catalog).unwrap(), (5.0, 5.0));
         assert_eq!(
-            Expr::col("c1").add(Expr::col("c2")).range_bounds(&catalog).unwrap(),
+            Expr::col("c1")
+                .add(Expr::col("c2"))
+                .range_bounds(&catalog)
+                .unwrap(),
             (-4.0, 4.0)
         );
         assert_eq!(
-            Expr::col("c1").sub(Expr::col("c2")).range_bounds(&catalog).unwrap(),
+            Expr::col("c1")
+                .sub(Expr::col("c2"))
+                .range_bounds(&catalog)
+                .unwrap(),
             (-6.0, 2.0)
         );
         assert_eq!(
-            Expr::col("c1").mul(Expr::col("c2")).range_bounds(&catalog).unwrap(),
+            Expr::col("c1")
+                .mul(Expr::col("c2"))
+                .range_bounds(&catalog)
+                .unwrap(),
             (-9.0, 3.0)
         );
         assert_eq!(
-            Expr::Neg(Box::new(Expr::col("c1"))).range_bounds(&catalog).unwrap(),
+            Expr::Neg(Box::new(Expr::col("c1")))
+                .range_bounds(&catalog)
+                .unwrap(),
             (-1.0, 3.0)
         );
         assert_eq!(
-            Expr::Abs(Box::new(Expr::col("c1"))).range_bounds(&catalog).unwrap(),
+            Expr::Abs(Box::new(Expr::col("c1")))
+                .range_bounds(&catalog)
+                .unwrap(),
             (0.0, 3.0)
         );
-        assert_eq!(Expr::col("c1").pow(2).range_bounds(&catalog).unwrap(), (0.0, 9.0));
-        assert_eq!(Expr::col("c1").pow(3).range_bounds(&catalog).unwrap(), (-27.0, 1.0));
-        assert_eq!(Expr::col("c1").pow(0).range_bounds(&catalog).unwrap(), (1.0, 1.0));
+        assert_eq!(
+            Expr::col("c1").pow(2).range_bounds(&catalog).unwrap(),
+            (0.0, 9.0)
+        );
+        assert_eq!(
+            Expr::col("c1").pow(3).range_bounds(&catalog).unwrap(),
+            (-27.0, 1.0)
+        );
+        assert_eq!(
+            Expr::col("c1").pow(0).range_bounds(&catalog).unwrap(),
+            (1.0, 1.0)
+        );
         // Even power of a strictly positive interval.
         assert_eq!(
             Expr::col("c2").pow(2).range_bounds(&catalog).unwrap(),
@@ -313,7 +338,9 @@ mod tests {
         let t = Table::new(vec![Column::float("n", vec![-5.0, -2.0])]).unwrap();
         let catalog = Catalog::build(&t, 0.0);
         assert_eq!(
-            Expr::Abs(Box::new(Expr::col("n"))).range_bounds(&catalog).unwrap(),
+            Expr::Abs(Box::new(Expr::col("n")))
+                .range_bounds(&catalog)
+                .unwrap(),
             (2.0, 5.0)
         );
     }

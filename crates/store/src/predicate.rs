@@ -84,10 +84,12 @@ impl Predicate {
             Predicate::True => BoundPredicate::True,
             Predicate::CatEq { column, value } => {
                 let col = table.categorical_column(column)?;
-                let code = col.code_of(value).ok_or_else(|| StoreError::UnknownCategory {
-                    column: column.clone(),
-                    value: value.clone(),
-                })?;
+                let code = col
+                    .code_of(value)
+                    .ok_or_else(|| StoreError::UnknownCategory {
+                        column: column.clone(),
+                        value: value.clone(),
+                    })?;
                 BoundPredicate::CatEq {
                     column: table.column_index(column)?,
                     code,
@@ -137,9 +139,7 @@ impl Predicate {
     pub fn categorical_equality(&self) -> Option<(&str, &str)> {
         match self {
             Predicate::CatEq { column, value } => Some((column, value)),
-            Predicate::And(children) => {
-                children.iter().find_map(Predicate::categorical_equality)
-            }
+            Predicate::And(children) => children.iter().find_map(Predicate::categorical_equality),
             _ => None,
         }
     }
@@ -263,7 +263,10 @@ mod tests {
             vec![1, 2, 4]
         );
         let lt = Predicate::num_lt("delay", 0.0).bind(&t).unwrap();
-        assert_eq!((0..5).filter(|&r| lt.matches(&t, r)).collect::<Vec<_>>(), vec![1]);
+        assert_eq!(
+            (0..5).filter(|&r| lt.matches(&t, r)).collect::<Vec<_>>(),
+            vec![1]
+        );
         let between = Predicate::NumBetween {
             column: "delay".into(),
             low: 0.0,
@@ -272,7 +275,9 @@ mod tests {
         .bind(&t)
         .unwrap();
         assert_eq!(
-            (0..5).filter(|&r| between.matches(&t, r)).collect::<Vec<_>>(),
+            (0..5)
+                .filter(|&r| between.matches(&t, r))
+                .collect::<Vec<_>>(),
             vec![0, 2, 3]
         );
     }
@@ -286,7 +291,10 @@ mod tests {
         ])
         .bind(&t)
         .unwrap();
-        assert_eq!((0..5).filter(|&r| p.matches(&t, r)).collect::<Vec<_>>(), vec![4]);
+        assert_eq!(
+            (0..5).filter(|&r| p.matches(&t, r)).collect::<Vec<_>>(),
+            vec![4]
+        );
 
         let p = Predicate::Or(vec![
             Predicate::cat_eq("airline", "DL"),
@@ -294,12 +302,18 @@ mod tests {
         ])
         .bind(&t)
         .unwrap();
-        assert_eq!((0..5).filter(|&r| p.matches(&t, r)).collect::<Vec<_>>(), vec![1, 3]);
+        assert_eq!(
+            (0..5).filter(|&r| p.matches(&t, r)).collect::<Vec<_>>(),
+            vec![1, 3]
+        );
 
         let p = Predicate::Not(Box::new(Predicate::cat_eq("airline", "UA")))
             .bind(&t)
             .unwrap();
-        assert_eq!((0..5).filter(|&r| p.matches(&t, r)).collect::<Vec<_>>(), vec![1, 3, 4]);
+        assert_eq!(
+            (0..5).filter(|&r| p.matches(&t, r)).collect::<Vec<_>>(),
+            vec![1, 3, 4]
+        );
     }
 
     #[test]
@@ -329,9 +343,6 @@ mod tests {
         ]);
         assert_eq!(p.categorical_equality(), Some(("origin", "ORD")));
         assert_eq!(Predicate::True.categorical_equality(), None);
-        assert_eq!(
-            Predicate::num_gt("delay", 0.0).categorical_equality(),
-            None
-        );
+        assert_eq!(Predicate::num_gt("delay", 0.0).categorical_equality(), None);
     }
 }

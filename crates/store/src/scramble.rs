@@ -147,9 +147,7 @@ mod tests {
         let t = table(1000);
         let s = Scramble::build(&t, 42).unwrap();
         let same_position = (0..1000)
-            .filter(|&i| {
-                s.table().column("x").unwrap().numeric_value(i).unwrap() == i as f64
-            })
+            .filter(|&i| s.table().column("x").unwrap().numeric_value(i).unwrap() == i as f64)
             .count();
         // A uniform permutation of 1000 elements has ~1 fixed point in
         // expectation; 50 would be wildly improbable.

@@ -50,8 +50,15 @@ impl std::fmt::Display for StoreError {
                 name,
                 expected,
                 actual,
-            } => write!(f, "column `{name}` has type {actual:?}, expected {expected}"),
-            StoreError::LengthMismatch { name, len, expected } => write!(
+            } => write!(
+                f,
+                "column `{name}` has type {actual:?}, expected {expected}"
+            ),
+            StoreError::LengthMismatch {
+                name,
+                len,
+                expected,
+            } => write!(
                 f,
                 "column `{name}` has {len} rows but the table has {expected}"
             ),
@@ -169,7 +176,11 @@ impl Table {
     /// (output row `i` holds input row `permutation[i]`).
     pub fn permuted(&self, permutation: &[usize]) -> Table {
         Table {
-            columns: self.columns.iter().map(|c| c.permuted(permutation)).collect(),
+            columns: self
+                .columns
+                .iter()
+                .map(|c| c.permuted(permutation))
+                .collect(),
             num_rows: permutation.len(),
         }
     }

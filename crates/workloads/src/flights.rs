@@ -54,8 +54,7 @@ pub const AIRLINE_BASE_DELAY: [f64; 10] = [4.0, 5.5, 7.0, 8.5, 10.0, 11.5, 13.0,
 /// Per-airline sensitivity to departure time: later flights are delayed more,
 /// and by different amounts per airline, so the spread between airline means
 /// grows with `$min_dep_time` (Figure 8).
-pub const AIRLINE_TIME_SENSITIVITY: [f64; 10] =
-    [0.0, 0.8, 1.8, 2.6, 3.2, 3.8, 4.5, 5.2, 6.0, 7.0];
+pub const AIRLINE_TIME_SENSITIVITY: [f64; 10] = [0.0, 0.8, 1.8, 2.6, 3.2, 3.8, 4.5, 5.2, 6.0, 7.0];
 
 /// Day-of-week labels.
 pub const DAYS: [&str; 7] = ["Mon", "Tue", "Wed", "Thu", "Fri", "Sat", "Sun"];
@@ -371,7 +370,12 @@ mod tests {
             d.table.column(columns::DAY_OF_WEEK).unwrap().cardinality(),
             Some(7)
         );
-        let airports = d.table.column(columns::ORIGIN).unwrap().cardinality().unwrap();
+        let airports = d
+            .table
+            .column(columns::ORIGIN)
+            .unwrap()
+            .cardinality()
+            .unwrap();
         assert!((20..=25).contains(&airports), "airports = {airports}");
     }
 
@@ -424,8 +428,18 @@ mod tests {
         // The empirical means must preserve the ladder ordering between
         // well-separated airlines (adjacent pairs may swap due to noise, but
         // NW must be clearly below UA, UA below HP, etc.).
-        assert!(means[0] < means[5], "NW {} should be < UA {}", means[0], means[5]);
-        assert!(means[5] < means[9], "UA {} should be < HP {}", means[5], means[9]);
+        assert!(
+            means[0] < means[5],
+            "NW {} should be < UA {}",
+            means[0],
+            means[5]
+        );
+        assert!(
+            means[5] < means[9],
+            "UA {} should be < HP {}",
+            means[5],
+            means[9]
+        );
         assert!(means[2] < means[7]);
         // And they should sit within the band swept by the Figure 7(b)
         // reproduction (0 .. max aggregate + 2).
@@ -458,7 +472,10 @@ mod tests {
                 break;
             }
         }
-        assert!(found_negative, "at least one small airport should average below zero");
+        assert!(
+            found_negative,
+            "at least one small airport should average below zero"
+        );
     }
 
     #[test]
@@ -475,7 +492,10 @@ mod tests {
         let max = *counts.iter().max().unwrap();
         let min = *counts.iter().filter(|&&c| c > 0).min().unwrap();
         assert_eq!(counts[ord], max, "ORD should be the most popular airport");
-        assert!(max > 3 * min, "popularity should be skewed: max {max}, min {min}");
+        assert!(
+            max > 3 * min,
+            "popularity should be skewed: max {max}, min {min}"
+        );
     }
 
     #[test]

@@ -36,10 +36,13 @@ pub fn f_q1(airport: &str, epsilon: f64) -> QueryTemplate {
     QueryTemplate {
         id: "F-q1",
         description: "avg delay for $airport (relative accuracy)",
-        query: AggQuery::avg(format!("F-q1[{airport},eps={epsilon}]"), Expr::col(columns::DEP_DELAY))
-            .filter(Predicate::cat_eq(columns::ORIGIN, airport))
-            .relative_error(epsilon)
-            .build(),
+        query: AggQuery::avg(
+            format!("F-q1[{airport},eps={epsilon}]"),
+            Expr::col(columns::DEP_DELAY),
+        )
+        .filter(Predicate::cat_eq(columns::ORIGIN, airport))
+        .relative_error(epsilon)
+        .build(),
     }
 }
 
@@ -49,10 +52,13 @@ pub fn f_q2(thresh: f64) -> QueryTemplate {
     QueryTemplate {
         id: "F-q2",
         description: "airlines with avg delay above $thresh",
-        query: AggQuery::avg(format!("F-q2[thresh={thresh}]"), Expr::col(columns::DEP_DELAY))
-            .group_by(columns::AIRLINE)
-            .having_gt(thresh)
-            .build(),
+        query: AggQuery::avg(
+            format!("F-q2[thresh={thresh}]"),
+            Expr::col(columns::DEP_DELAY),
+        )
+        .group_by(columns::AIRLINE)
+        .having_gt(thresh)
+        .build(),
     }
 }
 
@@ -202,7 +208,10 @@ mod tests {
         ));
         assert!(matches!(
             f_q3(2250).query.stopping,
-            StoppingCondition::TopKSeparated { k: 2, largest: false }
+            StoppingCondition::TopKSeparated {
+                k: 2,
+                largest: false
+            }
         ));
         assert!(matches!(
             f_q4().query.stopping,
@@ -214,16 +223,28 @@ mod tests {
         ));
         assert!(matches!(
             f_q6().query.stopping,
-            StoppingCondition::TopKSeparated { k: 5, largest: true }
+            StoppingCondition::TopKSeparated {
+                k: 5,
+                largest: true
+            }
         ));
-        assert!(matches!(f_q7().query.stopping, StoppingCondition::GroupsOrdered));
+        assert!(matches!(
+            f_q7().query.stopping,
+            StoppingCondition::GroupsOrdered
+        ));
         assert!(matches!(
             f_q8().query.stopping,
-            StoppingCondition::TopKSeparated { k: 1, largest: true }
+            StoppingCondition::TopKSeparated {
+                k: 1,
+                largest: true
+            }
         ));
         assert!(matches!(
             f_q9().query.stopping,
-            StoppingCondition::TopKSeparated { k: 1, largest: true }
+            StoppingCondition::TopKSeparated {
+                k: 1,
+                largest: true
+            }
         ));
     }
 
@@ -234,7 +255,10 @@ mod tests {
         assert_eq!(f_q5().query.group_by, vec![columns::ORIGIN.to_string()]);
         assert_eq!(
             f_q6().query.group_by,
-            vec![columns::DAY_OF_WEEK.to_string(), columns::ORIGIN.to_string()]
+            vec![
+                columns::DAY_OF_WEEK.to_string(),
+                columns::ORIGIN.to_string()
+            ]
         );
         assert_eq!(f_q3(1000).query.order.unwrap().limit, 2);
         assert!(!f_q3(1000).query.order.unwrap().descending);

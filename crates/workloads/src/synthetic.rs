@@ -72,9 +72,7 @@ impl SyntheticDistribution {
             .map(|_| {
                 let v = match self {
                     SyntheticDistribution::UniformFullRange => rng.gen_range(a..b),
-                    SyntheticDistribution::ConcentratedGaussian => {
-                        normal(500.0, 10.0, &mut rng)
-                    }
+                    SyntheticDistribution::ConcentratedGaussian => normal(500.0, 10.0, &mut rng),
                     SyntheticDistribution::HeavyTail => {
                         let base: f64 = rng.gen_range(10.0..40.0);
                         let tail: f64 = if rng.gen_range(0.0..1.0) < 0.02 {
@@ -166,13 +164,18 @@ mod tests {
         let hm = SyntheticDistribution::mean(&heavy);
         let max = heavy.iter().copied().fold(f64::NEG_INFINITY, f64::max);
         assert!(hm < 40.0, "heavy-tail mean {hm} should stay near the bulk");
-        assert!(max > 150.0, "heavy-tail max {max} should be far above the mean");
+        assert!(
+            max > 150.0,
+            "heavy-tail max {max} should be far above the mean"
+        );
     }
 
     #[test]
     fn labels_are_distinct() {
-        let labels: std::collections::HashSet<_> =
-            SyntheticDistribution::ALL.iter().map(|d| d.label()).collect();
+        let labels: std::collections::HashSet<_> = SyntheticDistribution::ALL
+            .iter()
+            .map(|d| d.label())
+            .collect();
         assert_eq!(labels.len(), SyntheticDistribution::ALL.len());
         assert_eq!(SyntheticDistribution::mean(&[]), 0.0);
     }

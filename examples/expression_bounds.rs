@@ -7,7 +7,7 @@
 //! Run with:
 //!
 //! ```text
-//! cargo run --release -p fastframe-engine --example expression_bounds
+//! cargo run --release -p fastframe-tests --example expression_bounds
 //! ```
 
 use fastframe_core::expr_bounds::{convex_bounds, DescentOptions, Interval};
@@ -33,7 +33,9 @@ fn main() {
     // 2. Tighter bounds from the convex optimizer of Appendix B: the
     //    expression is convex in DepDelay, so the maximum is at a corner of
     //    the range box and the minimum is found by projected descent.
-    let (a, b) = catalog.range_bounds(columns::DEP_DELAY).expect("delay range");
+    let (a, b) = catalog
+        .range_bounds(columns::DEP_DELAY)
+        .expect("delay range");
     let boxes = [Interval::new(a, b).expect("valid range")];
     let (opt_lo, opt_hi) = convex_bounds(
         |c: &[f64]| (c[0] - 10.0).powi(2),

@@ -6,7 +6,7 @@
 //! Run with:
 //!
 //! ```text
-//! cargo run --release -p fastframe-engine --example flights_having
+//! cargo run --release -p fastframe-tests --example flights_having
 //! ```
 //!
 //! Set `FASTFRAME_ROWS` to change the dataset size (default 1 000 000 —
@@ -25,8 +25,8 @@ fn main() {
         .unwrap_or(1_000_000);
 
     println!("generating synthetic Flights dataset ({rows} rows)...");
-    let dataset = FlightsDataset::generate(FlightsConfig::default().rows(rows))
-        .expect("generation succeeds");
+    let dataset =
+        FlightsDataset::generate(FlightsConfig::default().rows(rows)).expect("generation succeeds");
     println!("{}", dataset.describe());
 
     // F-q2: airlines with average departure delay above the threshold.
@@ -34,7 +34,9 @@ fn main() {
     println!("\n{} — {}", template.id, template.description);
 
     let frame = FastFrame::from_table(&dataset.table, 2_021).expect("scramble builds");
-    let exact = frame.execute_exact(&template.query).expect("exact baseline");
+    let exact = frame
+        .execute_exact(&template.query)
+        .expect("exact baseline");
     let mut expected = exact.selected_labels();
     expected.sort();
 
@@ -53,7 +55,9 @@ fn main() {
         BounderKind::BernsteinRangeTrim,
     ] {
         let config = EngineConfig::with_bounder(bounder).strategy(SamplingStrategy::ActivePeek);
-        let result = frame.execute(&template.query, &config).expect("approximate query");
+        let result = frame
+            .execute(&template.query, &config)
+            .expect("approximate query");
         let mut got = result.selected_labels();
         got.sort();
         let speedup =

@@ -4,7 +4,7 @@
 //! Run with:
 //!
 //! ```text
-//! cargo run --release -p fastframe-engine --example quickstart
+//! cargo run --release -p fastframe-tests --example quickstart
 //! ```
 
 use fastframe_engine::prelude::*;

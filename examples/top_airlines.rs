@@ -6,7 +6,7 @@
 //! Run with:
 //!
 //! ```text
-//! cargo run --release -p fastframe-engine --example top_airlines
+//! cargo run --release -p fastframe-tests --example top_airlines
 //! ```
 
 use fastframe_engine::prelude::*;
@@ -19,14 +19,16 @@ fn main() {
         .and_then(|v| v.parse().ok())
         .unwrap_or(400_000);
 
-    let dataset = FlightsDataset::generate(FlightsConfig::default().rows(rows))
-        .expect("generation succeeds");
+    let dataset =
+        FlightsDataset::generate(FlightsConfig::default().rows(rows)).expect("generation succeeds");
     let frame = FastFrame::from_table(&dataset.table, 7).expect("scramble builds");
 
     let template = f_q9();
     println!("{} — {}", template.id, template.description);
 
-    let exact = frame.execute_exact(&template.query).expect("exact baseline");
+    let exact = frame
+        .execute_exact(&template.query)
+        .expect("exact baseline");
     println!(
         "exact answer: {:?} (mean delay {:.2} min), {} blocks scanned\n",
         exact.selected_labels(),

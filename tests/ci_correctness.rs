@@ -41,8 +41,8 @@ fn avg_intervals_enclose_the_true_mean_for_every_bounder_and_distribution() {
                 for &v in &sample {
                     est.observe(v);
                 }
-                let ctx = BoundContext::new(a, b, population.len() as u64, DELTA)
-                    .expect("valid context");
+                let ctx =
+                    BoundContext::new(a, b, population.len() as u64, DELTA).expect("valid context");
                 let ci = est.interval(&ctx);
                 assert!(
                     ci.contains(truth),
@@ -162,9 +162,8 @@ fn sum_intervals_compose_count_and_avg_correctly() {
         for &v in &sample {
             est.observe(v);
         }
-        let avg_ci = est.interval(
-            &BoundContext::new(a, b, population.len() as u64, 0.5e-9).unwrap(),
-        );
+        let avg_ci =
+            est.interval(&BoundContext::new(a, b, population.len() as u64, 0.5e-9).unwrap());
         // COUNT interval: here every row belongs to the view, so feed the
         // tracker matched = true for the processed prefix.
         let mut tracker = SelectivityTracker::new(population.len() as u64).unwrap();

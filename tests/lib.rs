@@ -1,4 +1,16 @@
-//! Integration-test-only package; see the `[[test]]` targets in `Cargo.toml`.
+//! Integration-test and example package for the FastFrame workspace.
 //!
-//! The library target exists only so that Cargo treats this directory as a
-//! workspace member; all substance lives in the test files next to it.
+//! This package (`fastframe-tests`) lives in the repository's `tests/`
+//! directory with its test files next to this stub rather than under a
+//! `tests/` subdirectory, so `Cargo.toml` declares every target explicitly:
+//!
+//! * seven `[[test]]` targets — `ci_correctness`, `count_sum`, `end_to_end`,
+//!   `property_bounders`, `sampling_strategies`, `stopping_conditions`, and
+//!   `workspace_smoke` — exercising the workspace crates end-to-end;
+//! * four `[[example]]` targets pointing at the repository-root `examples/`
+//!   directory (`quickstart`, `expression_bounds`, `flights_having`,
+//!   `top_airlines`), runnable via
+//!   `cargo run --release -p fastframe-tests --example <name>`.
+//!
+//! This library target exists only so the package has a primary target; all
+//! substance lives in the test and example files.

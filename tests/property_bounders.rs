@@ -12,13 +12,12 @@ use fastframe_core::variance::RunningMoments;
 
 /// Strategy: a data range plus a non-empty batch of values inside it.
 fn range_and_values() -> impl Strategy<Value = (f64, f64, Vec<f64>)> {
-    (any::<i16>(), 1u16..2000u16)
-        .prop_flat_map(|(lo, width)| {
-            let a = lo as f64;
-            let b = a + width as f64;
-            let values = proptest::collection::vec(a..b, 1..200);
-            (Just(a), Just(b), values)
-        })
+    (any::<i16>(), 1u16..2000u16).prop_flat_map(|(lo, width)| {
+        let a = lo as f64;
+        let b = a + width as f64;
+        let values = proptest::collection::vec(a..b, 1..200);
+        (Just(a), Just(b), values)
+    })
 }
 
 proptest! {

@@ -149,7 +149,11 @@ fn predicate_bitmap_skipping_applies_even_to_plain_scan() {
     // even the Scan strategy can skip them via the predicate bitmap.
     let dataset = FlightsDataset::generate(FlightsConfig::small().rows(150_000).airports(60))
         .expect("dataset generates");
-    let rare_airport = dataset.airport_codes.last().expect("airports exist").clone();
+    let rare_airport = dataset
+        .airport_codes
+        .last()
+        .expect("airports exist")
+        .clone();
     let template = fastframe_workloads::queries::f_q1(&rare_airport, 0.5);
     let result = frame
         .execute(&template.query, &config(SamplingStrategy::Scan))

@@ -53,7 +53,12 @@ fn sample_count_condition_stops_after_requested_samples() {
     let result = frame.execute(&query, &config()).unwrap();
     assert!(result.converged);
     for g in &result.groups {
-        assert!(g.samples >= 2_000, "group {} got {} samples", g.key.display(), g.samples);
+        assert!(
+            g.samples >= 2_000,
+            "group {} got {} samples",
+            g.key.display(),
+            g.samples
+        );
     }
     // It should not have scanned everything.
     assert!(result.metrics.scan.rows_scanned < 60_000);
@@ -109,7 +114,12 @@ fn threshold_condition_places_every_group_on_the_correct_side() {
     assert_eq!(selected, vec!["high".to_string(), "mid".to_string()]);
     // And the intervals genuinely exclude the threshold.
     for g in &result.groups {
-        assert!(!g.ci.contains(20.0), "group {} CI {:?}", g.key.display(), g.ci);
+        assert!(
+            !g.ci.contains(20.0),
+            "group {} CI {:?}",
+            g.key.display(),
+            g.ci
+        );
     }
 }
 
@@ -160,7 +170,10 @@ fn impossible_condition_forces_a_full_exact_pass() {
     let exact = frame.execute_exact(&query).unwrap();
     for eg in &exact.groups {
         let ag = result.groups.iter().find(|g| g.key == eg.key).unwrap();
-        assert!(ag.exact, "after a full pass the group result should be exact");
+        assert!(
+            ag.exact,
+            "after a full pass the group result should be exact"
+        );
         assert_eq!(ag.estimate, eg.estimate);
     }
 }

@@ -1,0 +1,211 @@
+//! Offline vendored shim for the subset of the `criterion` API this
+//! workspace's micro-benchmarks use: `Criterion::benchmark_group`, group
+//! `throughput` / `sample_size` / `bench_with_input`, `Bencher::iter`, and the
+//! `criterion_group!` / `criterion_main!` macros.
+//!
+//! The container this repository builds in has no network access to a crate
+//! registry, so the real `criterion` crate cannot be fetched. The shim keeps
+//! the benchmarks source-compatible and reports a simple mean wall-clock time
+//! per iteration (plus element throughput when configured) instead of
+//! criterion's full statistical analysis.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+#![deny(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver, mirroring `criterion::Criterion`.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related measurements.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+}
+
+/// Throughput annotation for a group, mirroring `criterion::Throughput`.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Number of elements processed per iteration.
+    Elements(u64),
+    /// Number of bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier of one measurement within a group, mirroring
+/// `criterion::BenchmarkId`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from the parameter value alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+
+    /// Builds an id from a function name plus a parameter value.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            id: format!("{}/{}", function.into(), parameter),
+        }
+    }
+}
+
+/// A group of related measurements, mirroring `criterion::BenchmarkGroup`.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the throughput annotation reported with every measurement.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Sets the number of timed samples per measurement.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Measures `f` once per configured sample with `input` passed through.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher {
+            samples: self.sample_size,
+            mean: Duration::ZERO,
+        };
+        f(&mut bencher, input);
+        self.report(&id.id, bencher.mean);
+        self
+    }
+
+    /// Measures `f` once per configured sample.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            samples: self.sample_size,
+            mean: Duration::ZERO,
+        };
+        f(&mut bencher);
+        let id = id.into();
+        self.report(&id, bencher.mean);
+        self
+    }
+
+    /// Finishes the group. (The shim reports eagerly, so this is a no-op kept
+    /// for source compatibility.)
+    pub fn finish(self) {}
+
+    fn report(&self, id: &str, mean: Duration) {
+        let mut line = format!("{}/{}: {:>12.3?}/iter", self.name, id, mean);
+        if let Some(Throughput::Elements(n)) = self.throughput {
+            let rate = n as f64 / mean.as_secs_f64().max(1e-12);
+            line.push_str(&format!("  ({rate:.3e} elem/s)"));
+        }
+        if let Some(Throughput::Bytes(n)) = self.throughput {
+            let rate = n as f64 / mean.as_secs_f64().max(1e-12);
+            line.push_str(&format!("  ({rate:.3e} B/s)"));
+        }
+        println!("{line}");
+    }
+}
+
+/// Timer handle passed to benchmark closures, mirroring `criterion::Bencher`.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: usize,
+    mean: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`: one untimed warm-up call, then `sample_size` timed
+    /// calls whose mean is reported.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        std::hint::black_box(routine());
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            std::hint::black_box(routine());
+        }
+        self.mean = start.elapsed() / self.samples as u32;
+    }
+}
+
+/// Bundles benchmark functions into a single named runner, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `fn main` running the given groups, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_with_input_runs_the_routine() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(3).throughput(Throughput::Elements(10));
+        let mut calls = 0u32;
+        group.bench_with_input(BenchmarkId::from_parameter("x"), &5u32, |b, &five| {
+            b.iter(|| {
+                calls += 1;
+                five * 2
+            });
+        });
+        group.finish();
+        // One warm-up call plus three timed samples.
+        assert_eq!(calls, 4);
+    }
+
+    #[test]
+    fn benchmark_ids_format() {
+        assert_eq!(BenchmarkId::from_parameter(7).id, "7");
+        assert_eq!(BenchmarkId::new("f", 7).id, "f/7");
+    }
+}

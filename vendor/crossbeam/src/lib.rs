@@ -1,0 +1,104 @@
+//! Offline vendored shim for the subset of the `crossbeam` API this workspace
+//! uses: bounded MPSC channels (`crossbeam::channel::{bounded, Sender,
+//! Receiver}`).
+//!
+//! The container this repository builds in has no network access to a crate
+//! registry, so the real `crossbeam` crate cannot be fetched. The shim wraps
+//! `std::sync::mpsc::sync_channel`, which has the same blocking-`send` /
+//! blocking-`recv` semantics for the single-producer single-consumer pipeline
+//! the engine's `ActivePeek` lookahead planner builds.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+#![deny(unsafe_code)]
+
+/// Multi-producer multi-consumer channels, mirroring `crossbeam::channel`.
+pub mod channel {
+    use std::sync::mpsc;
+
+    /// Error returned by [`Sender::send`] when the receiving side has been
+    /// dropped; carries the unsent message like `crossbeam`'s.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Error returned by [`Receiver::recv`] when the sending side has been
+    /// dropped and the channel is empty.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// The sending half of a bounded channel.
+    #[derive(Debug)]
+    pub struct Sender<T>(mpsc::SyncSender<T>);
+
+    /// The receiving half of a bounded channel.
+    #[derive(Debug)]
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+
+    impl<T> Sender<T> {
+        /// Sends `value`, blocking while the channel is full. Returns the
+        /// value back if the receiver has been dropped.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.0
+                .send(value)
+                .map_err(|mpsc::SendError(v)| SendError(v))
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Self(self.0.clone())
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Receives the next value, blocking while the channel is empty.
+        /// Fails only once all senders have been dropped and the channel has
+        /// drained.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.recv().map_err(|mpsc::RecvError| RecvError)
+        }
+    }
+
+    /// Creates a bounded channel with capacity `cap`.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (Sender(tx), Receiver(rx))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn round_trip_and_disconnect() {
+            let (tx, rx) = bounded::<u32>(2);
+            tx.send(1).unwrap();
+            tx.send(2).unwrap();
+            assert_eq!(rx.recv(), Ok(1));
+            assert_eq!(rx.recv(), Ok(2));
+            drop(tx);
+            assert_eq!(rx.recv(), Err(RecvError));
+        }
+
+        #[test]
+        fn send_fails_after_receiver_drop() {
+            let (tx, rx) = bounded::<u32>(1);
+            drop(rx);
+            assert_eq!(tx.send(7), Err(SendError(7)));
+        }
+
+        #[test]
+        fn works_across_threads() {
+            let (tx, rx) = bounded::<u32>(2);
+            std::thread::scope(|scope| {
+                scope.spawn(move || {
+                    for i in 0..10 {
+                        tx.send(i).unwrap();
+                    }
+                });
+                let got: Vec<u32> = (0..10).map(|_| rx.recv().unwrap()).collect();
+                assert_eq!(got, (0..10).collect::<Vec<_>>());
+            });
+        }
+    }
+}

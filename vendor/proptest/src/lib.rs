@@ -1,0 +1,343 @@
+//! Offline vendored shim for the subset of the `proptest` API this
+//! workspace's property tests use: the `proptest!` macro, range and tuple
+//! strategies, `any`, `Just`, `prop_flat_map`, `proptest::collection::vec`,
+//! `prop_assert!` / `prop_assert_eq!`, and `ProptestConfig::with_cases`.
+//!
+//! The container this repository builds in has no network access to a crate
+//! registry, so the real `proptest` crate cannot be fetched. The shim keeps
+//! the property tests source-compatible and runs each property over a
+//! deterministic stream of random cases (seeded per test from the test name),
+//! panicking on the first failing case. It does **not** implement shrinking;
+//! a failure report shows the raw failing inputs via the assertion message.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+#![deny(unsafe_code)]
+
+use std::ops::Range;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SampleUniform, SeedableRng};
+
+/// Per-test-run configuration, mirroring `proptest::test_runner::Config`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` random cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+/// The random source handed to strategies while generating cases.
+#[derive(Debug)]
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    /// Builds a generator seeded deterministically from the test name, so a
+    /// failing case reproduces on re-run.
+    pub fn deterministic(test_name: &str) -> Self {
+        let mut seed = 0xF057_F057_F057_F057u64;
+        for b in test_name.bytes() {
+            seed = seed.rotate_left(7) ^ u64::from(b).wrapping_mul(0x100_0000_01B3);
+        }
+        Self {
+            inner: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    fn range<T: SampleUniform>(&mut self, range: Range<T>) -> T {
+        self.inner.gen_range(range)
+    }
+}
+
+/// A generator of random values, mirroring `proptest::strategy::Strategy`
+/// (without value trees or shrinking).
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Builds a dependent strategy from each drawn value, mirroring
+    /// `Strategy::prop_flat_map`.
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Builds a derived strategy mapping each drawn value, mirroring
+    /// `Strategy::prop_map`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_flat_map`].
+#[derive(Debug, Clone)]
+pub struct FlatMap<A, F> {
+    inner: A,
+    f: F,
+}
+
+impl<A, S, F> Strategy for FlatMap<A, F>
+where
+    A: Strategy,
+    S: Strategy,
+    F: Fn(A::Value) -> S,
+{
+    type Value = S::Value;
+
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        let intermediate = self.inner.sample(rng);
+        (self.f)(intermediate).sample(rng)
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<A, F> {
+    inner: A,
+    f: F,
+}
+
+impl<A, O, F> Strategy for Map<A, F>
+where
+    A: Strategy,
+    F: Fn(A::Value) -> O,
+{
+    type Value = O;
+
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// A strategy producing a fixed value, mirroring `proptest::strategy::Just`.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+impl<T: SampleUniform> Strategy for Range<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        rng.range(self.start..self.end)
+    }
+}
+
+macro_rules! impl_strategy_for_tuple {
+    ($(($($name:ident : $idx:tt),+))+) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )+};
+}
+
+impl_strategy_for_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+}
+
+/// Types with a canonical "any value" strategy, mirroring
+/// `proptest::arbitrary::Arbitrary` (generation only).
+pub trait Arbitrary: Sized {
+    /// Draws an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.inner.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.inner.next_u64() & 1 == 1
+    }
+}
+
+use rand::RngCore as _;
+
+/// Strategy returned by [`any`].
+#[derive(Debug, Clone)]
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The strategy of all values of `T`, mirroring `proptest::prelude::any`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+/// Collection strategies, mirroring `proptest::collection`.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Strategy returned by [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let len = rng.range(self.size.start..self.size.end);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// A strategy for vectors whose elements come from `element` and whose
+    /// length is drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+}
+
+/// The common imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{any, prop_assert, prop_assert_eq, proptest};
+    pub use crate::{Arbitrary, Just, ProptestConfig, Strategy};
+}
+
+/// Asserts a condition inside a property, mirroring `proptest::prop_assert!`.
+/// The shim panics immediately (no shrinking pass exists to catch an `Err`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Asserts equality inside a property, mirroring `proptest::prop_assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => { assert_eq!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)+) => { assert_eq!($left, $right, $($fmt)+) };
+}
+
+/// Declares property tests, mirroring `proptest::proptest!`.
+///
+/// Each `fn name(pattern in strategy, ...) { body }` item expands to a
+/// `#[test]` function running `body` over `config.cases` random cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_body! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body! { config = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    (config = $config:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strategy:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            let mut rng = $crate::TestRng::deterministic(stringify!($name));
+            for _case in 0..config.cases {
+                $(let $pat = $crate::Strategy::sample(&($strategy), &mut rng);)+
+                $body
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_and_vecs_sample_in_bounds() {
+        let mut rng = crate::TestRng::deterministic("ranges_and_vecs");
+        let strat = crate::collection::vec(-2.0f64..7.0, 3..9);
+        for _ in 0..200 {
+            let v = crate::Strategy::sample(&strat, &mut rng);
+            assert!((3..9).contains(&v.len()));
+            assert!(v.iter().all(|x| (-2.0..7.0).contains(x)));
+        }
+    }
+
+    #[test]
+    fn flat_map_threads_dependent_values() {
+        let mut rng = crate::TestRng::deterministic("flat_map");
+        let strat = (0i64..100).prop_flat_map(|lo| (Just(lo), lo..lo + 10));
+        for _ in 0..200 {
+            let (lo, v) = crate::Strategy::sample(&strat, &mut rng);
+            assert!(v >= lo && v < lo + 10);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(50))]
+
+        #[test]
+        fn macro_samples_every_binding((a, b) in (0u32..10, 10u32..20), c in any::<i16>()) {
+            prop_assert!(a < 10);
+            prop_assert!((10..20).contains(&b));
+            prop_assert_eq!(i32::from(c), c as i32);
+        }
+    }
+}
