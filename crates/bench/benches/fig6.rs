@@ -7,13 +7,13 @@
 //!
 //! Run with `cargo bench -p fastframe-bench --bench fig6`.
 
-use fastframe_bench::{build_flights_frame, print_header, print_row, run_approx};
+use fastframe_bench::{build_flights_session, print_header, print_row, run_approx};
 use fastframe_core::bounder::BounderKind;
 use fastframe_engine::config::SamplingStrategy;
 use fastframe_workloads::queries::f_q1;
 
 fn main() {
-    let (dataset, frame) = build_flights_frame();
+    let (dataset, session) = build_flights_session();
 
     // Pick airports spanning several orders of magnitude of selectivity.
     let ranks: Vec<usize> = [0usize, 2, 5, 10, 20, 50, 100, 200]
@@ -37,7 +37,7 @@ fn main() {
         let selectivity = dataset.airport_weights[rank];
         let template = f_q1(&airport, 0.5);
         for bounder in BounderKind::EVALUATED {
-            let m = run_approx(&frame, &template.query, bounder, SamplingStrategy::Scan);
+            let m = run_approx(&session, &template.query, bounder, SamplingStrategy::Scan);
             print_row(&[
                 airport.clone(),
                 format!("{selectivity:.5}"),

@@ -6,17 +6,17 @@
 //!
 //! Run with `cargo bench -p fastframe-bench --bench fig7a`.
 
-use fastframe_bench::{build_flights_frame, print_header, print_row, run_approx, run_exact};
+use fastframe_bench::{build_flights_session, print_header, print_row, run_approx, run_exact};
 use fastframe_core::bounder::BounderKind;
 use fastframe_engine::config::SamplingStrategy;
 use fastframe_workloads::queries::f_q1;
 
 fn main() {
-    let (_dataset, frame) = build_flights_frame();
+    let (_dataset, session) = build_flights_session();
     let airport = "ORD";
 
     // The exact answer, for measuring achieved error.
-    let exact = run_exact(&frame, &f_q1(airport, 0.5).query);
+    let exact = run_exact(&session, &f_q1(airport, 0.5).query);
     let truth = exact
         .result
         .global()
@@ -38,7 +38,7 @@ fn main() {
     for eps in [0.05, 0.1, 0.2, 0.4, 0.7, 1.0, 1.5, 2.0] {
         let template = f_q1(airport, eps);
         for bounder in BounderKind::EVALUATED {
-            let m = run_approx(&frame, &template.query, bounder, SamplingStrategy::Scan);
+            let m = run_approx(&session, &template.query, bounder, SamplingStrategy::Scan);
             let estimate = m
                 .result
                 .global()

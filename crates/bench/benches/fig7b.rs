@@ -10,18 +10,18 @@
 //! Run with `cargo bench -p fastframe-bench --bench fig7b`.
 
 use fastframe_bench::{
-    assert_same_selection, build_flights_frame, print_header, print_row, run_approx, run_exact,
+    assert_same_selection, build_flights_session, print_header, print_row, run_approx, run_exact,
 };
 use fastframe_core::bounder::BounderKind;
 use fastframe_engine::config::SamplingStrategy;
 use fastframe_workloads::queries::f_q2;
 
 fn main() {
-    let (_dataset, frame) = build_flights_frame();
+    let (_dataset, session) = build_flights_session();
 
     // Exact per-airline aggregates (the bar chart on the right of the
     // figure).
-    let exact_all = run_exact(&frame, &f_q2(f64::NEG_INFINITY).query);
+    let exact_all = run_exact(&session, &f_q2(f64::NEG_INFINITY).query);
     println!("# Figure 7(b) — blocks fetched vs. HAVING threshold (F-q2)");
     println!();
     println!("## Exact per-airline AVG(DepDelay) (horizontal bars of the figure)");
@@ -60,11 +60,11 @@ fn main() {
         + 2;
     for threshold in (0..=max_threshold).step_by(1) {
         let template = f_q2(threshold as f64);
-        let exact = run_exact(&frame, &template.query);
+        let exact = run_exact(&session, &template.query);
         let mut cells = vec![threshold.to_string()];
         for bounder in BounderKind::EVALUATED {
             let m = run_approx(
-                &frame,
+                &session,
                 &template.query,
                 bounder,
                 SamplingStrategy::ActivePeek,

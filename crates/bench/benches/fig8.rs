@@ -11,14 +11,14 @@
 //! Run with `cargo bench -p fastframe-bench --bench fig8`.
 
 use fastframe_bench::{
-    assert_same_selection, build_flights_frame, print_header, print_row, run_approx, run_exact,
+    assert_same_selection, build_flights_session, print_header, print_row, run_approx, run_exact,
 };
 use fastframe_core::bounder::BounderKind;
 use fastframe_engine::config::SamplingStrategy;
 use fastframe_workloads::queries::f_q3;
 
 fn main() {
-    let (_dataset, frame) = build_flights_frame();
+    let (_dataset, session) = build_flights_session();
 
     println!("# Figure 8 — blocks fetched vs. minimum departure time (F-q3, bottom-2 separation)");
     println!();
@@ -33,11 +33,11 @@ fn main() {
 
     for min_dep_time in [1_000i64, 1_250, 1_500, 1_750, 2_000, 2_250] {
         let template = f_q3(min_dep_time);
-        let exact = run_exact(&frame, &template.query);
+        let exact = run_exact(&session, &template.query);
         let mut cells = vec![min_dep_time.to_string()];
         for bounder in BounderKind::EVALUATED {
             let m = run_approx(
-                &frame,
+                &session,
                 &template.query,
                 bounder,
                 SamplingStrategy::ActivePeek,

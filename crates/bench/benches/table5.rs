@@ -9,7 +9,7 @@
 //! Run with `cargo bench -p fastframe-bench --bench table5`.
 
 use fastframe_bench::{
-    assert_same_selection, build_flights_frame, fmt_secs, print_header, print_row, run_approx,
+    assert_same_selection, build_flights_session, fmt_secs, print_header, print_row, run_approx,
     run_exact,
 };
 use fastframe_core::bounder::BounderKind;
@@ -17,7 +17,7 @@ use fastframe_engine::config::SamplingStrategy;
 use fastframe_workloads::queries::all_default_queries;
 
 fn main() {
-    let (dataset, frame) = build_flights_frame();
+    let (dataset, session) = build_flights_session();
 
     println!("# Table 3 — dataset description (synthetic stand-in)");
     println!();
@@ -52,7 +52,7 @@ fn main() {
     let mut block_rows: Vec<Vec<String>> = Vec::new();
 
     for template in all_default_queries() {
-        let exact = run_exact(&frame, &template.query);
+        let exact = run_exact(&session, &template.query);
         // GROUP BY queries use active scanning with lookahead (the system's
         // default); ungrouped queries have nothing to prioritize, so plain
         // Scan is used for them.
@@ -67,7 +67,7 @@ fn main() {
             exact.blocks_fetched.to_string(),
         ];
         for bounder in BounderKind::EVALUATED {
-            let m = run_approx(&frame, &template.query, bounder, strategy);
+            let m = run_approx(&session, &template.query, bounder, strategy);
             assert_same_selection(&template.query.name, &m, &exact);
             cells.push(format!(
                 "{:.2}x ({})",

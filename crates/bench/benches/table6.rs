@@ -5,7 +5,7 @@
 //! Run with `cargo bench -p fastframe-bench --bench table6`.
 
 use fastframe_bench::{
-    assert_same_selection, build_flights_frame, fmt_secs, print_header, print_row, run_approx,
+    assert_same_selection, build_flights_session, fmt_secs, print_header, print_row, run_approx,
     run_exact,
 };
 use fastframe_core::bounder::BounderKind;
@@ -13,7 +13,7 @@ use fastframe_engine::config::SamplingStrategy;
 use fastframe_workloads::queries::{f_q3, f_q5, f_q6, f_q7, f_q8};
 
 fn main() {
-    let (_dataset, frame) = build_flights_frame();
+    let (_dataset, session) = build_flights_session();
 
     println!("# Table 6 — sampling-strategy ablation (Bernstein+RT), GROUP BY queries");
     println!();
@@ -27,9 +27,9 @@ fn main() {
     ]);
 
     for template in [f_q3(2_250), f_q5(), f_q6(), f_q7(), f_q8()] {
-        let exact = run_exact(&frame, &template.query);
+        let exact = run_exact(&session, &template.query);
         let scan = run_approx(
-            &frame,
+            &session,
             &template.query,
             BounderKind::BernsteinRangeTrim,
             SamplingStrategy::Scan,
@@ -44,7 +44,7 @@ fn main() {
         let mut peek_blocks = 0;
         for strategy in [SamplingStrategy::ActiveSync, SamplingStrategy::ActivePeek] {
             let m = run_approx(
-                &frame,
+                &session,
                 &template.query,
                 BounderKind::BernsteinRangeTrim,
                 strategy,

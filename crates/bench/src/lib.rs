@@ -28,11 +28,15 @@ use fastframe_core::bounder::BounderKind;
 use fastframe_engine::config::{EngineConfig, SamplingStrategy};
 use fastframe_engine::query::AggQuery;
 use fastframe_engine::result::QueryResult;
-use fastframe_engine::session::FastFrame;
+use fastframe_engine::session::Session;
 use fastframe_workloads::flights::{FlightsConfig, FlightsDataset};
 
 /// The error probability used by every harness, matching the paper (§5.2).
 pub const BENCH_DELTA: f64 = 1e-15;
+
+/// Name under which every harness registers the Flights table in its
+/// session.
+pub const BENCH_TABLE: &str = "flights";
 
 /// Reads an environment variable as a parsed value with a default.
 pub fn env_or<T: std::str::FromStr>(name: &str, default: T) -> T {
@@ -52,8 +56,9 @@ pub fn bench_runs() -> usize {
     env_or("FASTFRAME_BENCH_RUNS", 1usize).max(1)
 }
 
-/// Builds the benchmark dataset and its FastFrame instance.
-pub fn build_flights_frame() -> (FlightsDataset, FastFrame) {
+/// Builds the benchmark dataset and a [`Session`] with it registered under
+/// [`BENCH_TABLE`].
+pub fn build_flights_session() -> (FlightsDataset, Session) {
     let config = FlightsConfig::default()
         .rows(bench_rows())
         .airports(env_or("FASTFRAME_AIRPORTS", 100usize))
@@ -63,15 +68,18 @@ pub fn build_flights_frame() -> (FlightsDataset, FastFrame) {
         config.rows, config.airports, config.seed
     );
     let dataset = FlightsDataset::generate(config).expect("dataset generation succeeds");
-    let frame = FastFrame::from_table(&dataset.table, dataset.config.seed)
+    let mut session = Session::new();
+    dataset
+        .register_into(&mut session, BENCH_TABLE)
         .expect("scramble construction succeeds");
+    let scramble = session.scramble(BENCH_TABLE).expect("table registered");
     eprintln!(
         "[harness] {} ({} blocks of {} rows)",
         dataset.describe(),
-        frame.scramble().num_blocks(),
-        frame.scramble().layout().block_size()
+        scramble.num_blocks(),
+        scramble.layout().block_size()
     );
-    (dataset, frame)
+    (dataset, session)
 }
 
 /// One measured execution.
@@ -105,20 +113,26 @@ impl Measurement {
 /// Runs `query` approximately under the given bounder/strategy, repeating
 /// `bench_runs()` times and averaging the wall time.
 pub fn run_approx(
-    frame: &FastFrame,
+    session: &Session,
     query: &AggQuery,
     bounder: BounderKind,
     strategy: SamplingStrategy,
 ) -> Measurement {
-    let config = EngineConfig::with_bounder(bounder)
+    let config = EngineConfig::builder()
+        .bounder(bounder)
         .strategy(strategy)
         .delta(BENCH_DELTA)
-        .seed(0xF1A9);
+        .seed(0xF1A9)
+        .build();
+    let prepared = session
+        .prepare(BENCH_TABLE, query)
+        .expect("query prepares")
+        .with_config(config);
     let runs = bench_runs();
     let mut total = Duration::ZERO;
     let mut last = None;
     for _ in 0..runs {
-        let result = frame.execute(query, &config).expect("query executes");
+        let result = prepared.execute().expect("query executes");
         total += result.metrics.wall_time;
         last = Some(result);
     }
@@ -133,12 +147,13 @@ pub fn run_approx(
 }
 
 /// Runs the exact baseline for `query`.
-pub fn run_exact(frame: &FastFrame, query: &AggQuery) -> Measurement {
+pub fn run_exact(session: &Session, query: &AggQuery) -> Measurement {
+    let prepared = session.prepare(BENCH_TABLE, query).expect("query prepares");
     let runs = bench_runs();
     let mut total = Duration::ZERO;
     let mut last = None;
     for _ in 0..runs {
-        let result = frame.execute_exact(query).expect("exact query executes");
+        let result = prepared.execute_exact().expect("exact query executes");
         total += result.metrics.wall_time;
         last = Some(result);
     }

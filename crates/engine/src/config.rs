@@ -50,7 +50,14 @@ impl std::fmt::Display for SamplingStrategy {
 }
 
 /// Configuration of one approximate query execution.
+///
+/// Construct via [`EngineConfig::default`], [`EngineConfig::with_bounder`],
+/// or the derived builder ([`EngineConfig::builder`]); tweak an existing
+/// configuration with [`EngineConfig::to_builder`]. The struct is
+/// `#[non_exhaustive]`: new knobs can be added without breaking downstream
+/// construction sites.
 #[derive(Debug, Clone)]
+#[non_exhaustive]
 pub struct EngineConfig {
     /// Which error bounder to use for AVG confidence intervals.
     pub bounder: BounderKind,
@@ -100,6 +107,32 @@ impl EngineConfig {
         }
     }
 
+    /// Starts a builder from the paper defaults.
+    ///
+    /// ```
+    /// use fastframe_engine::config::{EngineConfig, SamplingStrategy};
+    ///
+    /// let config = EngineConfig::builder()
+    ///     .delta(0.05)
+    ///     .strategy(SamplingStrategy::ActivePeek)
+    ///     .round_rows(10_000)
+    ///     .build();
+    /// assert_eq!(config.delta, 0.05);
+    /// ```
+    pub fn builder() -> EngineConfigBuilder {
+        EngineConfigBuilder {
+            config: Self::default(),
+        }
+    }
+
+    /// Starts a builder from this configuration — the idiom for per-query
+    /// overrides on top of session defaults.
+    pub fn to_builder(&self) -> EngineConfigBuilder {
+        EngineConfigBuilder {
+            config: self.clone(),
+        }
+    }
+
     /// Sets the sampling strategy.
     pub fn strategy(mut self, strategy: SamplingStrategy) -> Self {
         self.strategy = strategy;
@@ -128,6 +161,78 @@ impl EngineConfig {
     pub fn seed(mut self, seed: u64) -> Self {
         self.seed = seed;
         self
+    }
+}
+
+/// Derived builder for [`EngineConfig`].
+///
+/// Because `EngineConfig` is `#[non_exhaustive]`, downstream crates cannot
+/// use struct-update syntax; the builder covers every knob instead. Obtain
+/// one with [`EngineConfig::builder`] (paper defaults) or
+/// [`EngineConfig::to_builder`] (override an existing configuration).
+#[derive(Debug, Clone)]
+pub struct EngineConfigBuilder {
+    config: EngineConfig,
+}
+
+impl EngineConfigBuilder {
+    /// Sets the error bounder.
+    pub fn bounder(mut self, bounder: BounderKind) -> Self {
+        self.config.bounder = bounder;
+        self
+    }
+
+    /// Sets the sampling strategy.
+    pub fn strategy(mut self, strategy: SamplingStrategy) -> Self {
+        self.config.strategy = strategy;
+        self
+    }
+
+    /// Sets the total error probability budget δ.
+    pub fn delta(mut self, delta: f64) -> Self {
+        self.config.delta = delta;
+        self
+    }
+
+    /// Sets Theorem 3's α split between the `N⁺` bound and the mean CI.
+    pub fn alpha(mut self, alpha: f64) -> Self {
+        self.config.alpha = alpha;
+        self
+    }
+
+    /// Sets the OptStop round size (rows per round).
+    pub fn round_rows(mut self, rows: u64) -> Self {
+        self.config.round_rows = rows;
+        self
+    }
+
+    /// Sets the `ActivePeek` lookahead batch size in blocks.
+    pub fn lookahead_batch(mut self, blocks: usize) -> Self {
+        self.config.lookahead_batch = blocks;
+        self
+    }
+
+    /// Pins the scan start to a specific block (deterministic scans).
+    pub fn start_block(mut self, block: usize) -> Self {
+        self.config.start_block = Some(block);
+        self
+    }
+
+    /// Clears any pinned start block, restoring the seeded random start.
+    pub fn random_start(mut self) -> Self {
+        self.config.start_block = None;
+        self
+    }
+
+    /// Sets the seed used for the random scan start.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Finalizes the configuration.
+    pub fn build(self) -> EngineConfig {
+        self.config
     }
 }
 
@@ -161,6 +266,34 @@ mod tests {
         assert_eq!(c.round_rows, 1_000);
         assert_eq!(c.start_block, Some(7));
         assert_eq!(c.seed, 99);
+    }
+
+    #[test]
+    fn derived_builder_covers_every_knob() {
+        let c = EngineConfig::builder()
+            .bounder(BounderKind::AndersonDkw)
+            .strategy(SamplingStrategy::ActiveSync)
+            .delta(0.05)
+            .alpha(0.9)
+            .round_rows(123)
+            .lookahead_batch(64)
+            .start_block(3)
+            .seed(11)
+            .build();
+        assert_eq!(c.bounder, BounderKind::AndersonDkw);
+        assert_eq!(c.strategy, SamplingStrategy::ActiveSync);
+        assert_eq!(c.delta, 0.05);
+        assert_eq!(c.alpha, 0.9);
+        assert_eq!(c.round_rows, 123);
+        assert_eq!(c.lookahead_batch, 64);
+        assert_eq!(c.start_block, Some(3));
+        assert_eq!(c.seed, 11);
+        let c2 = c.to_builder().random_start().build();
+        assert_eq!(c2.start_block, None);
+        assert_eq!(
+            c2.delta, 0.05,
+            "to_builder starts from the overridden config"
+        );
     }
 
     #[test]

@@ -17,6 +17,19 @@ pub enum EngineError {
     },
     /// The scramble holds no rows.
     EmptyScramble,
+    /// The query references a table that is not registered in the session.
+    UnknownTable {
+        /// The unregistered table name.
+        name: String,
+    },
+    /// A table with this name is already registered in the session.
+    DuplicateTable {
+        /// The conflicting table name.
+        name: String,
+    },
+    /// The query builder was finalized without an aggregate (`avg` / `sum` /
+    /// `count`).
+    MissingAggregate,
 }
 
 impl std::fmt::Display for EngineError {
@@ -28,6 +41,15 @@ impl std::fmt::Display for EngineError {
                 write!(f, "GROUP BY column `{column}` must be categorical")
             }
             EngineError::EmptyScramble => write!(f, "cannot query an empty scramble"),
+            EngineError::UnknownTable { name } => {
+                write!(f, "no table named `{name}` is registered in the session")
+            }
+            EngineError::DuplicateTable { name } => {
+                write!(f, "a table named `{name}` is already registered")
+            }
+            EngineError::MissingAggregate => {
+                write!(f, "query built without an aggregate (avg / sum / count)")
+            }
         }
     }
 }
@@ -76,6 +98,17 @@ mod tests {
         };
         assert!(e.to_string().contains("delay"));
         assert!(EngineError::EmptyScramble.to_string().contains("empty"));
+        let e = EngineError::UnknownTable {
+            name: "flights".into(),
+        };
+        assert!(e.to_string().contains("flights"));
+        let e = EngineError::DuplicateTable {
+            name: "flights".into(),
+        };
+        assert!(e.to_string().contains("already"));
+        assert!(EngineError::MissingAggregate
+            .to_string()
+            .contains("aggregate"));
     }
 
     #[test]

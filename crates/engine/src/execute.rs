@@ -1,0 +1,139 @@
+//! The [`Execute`] trait: a common interface over the approximate and exact
+//! executors, so callers (benches, correctness harnesses, serving layers)
+//! can swap one for the other without changing the call site.
+
+use fastframe_store::scramble::Scramble;
+
+use crate::config::EngineConfig;
+use crate::error::EngineResult;
+use crate::exact::execute_exact;
+use crate::executor::execute_budgeted;
+use crate::progressive::Budget;
+use crate::query::AggQuery;
+use crate::result::QueryResult;
+
+/// Executes an [`AggQuery`] over a [`Scramble`] and produces a
+/// [`QueryResult`] — implemented by both the early-terminating approximate
+/// executor and the exact full-scan baseline.
+pub trait Execute {
+    /// Runs `query` over `scramble`.
+    fn execute(&self, scramble: &Scramble, query: &AggQuery) -> EngineResult<QueryResult>;
+
+    /// Human-readable label for reports and benchmark tables.
+    fn label(&self) -> &'static str;
+}
+
+/// The OptStop approximate executor as an [`Execute`] implementation,
+/// carrying its configuration and cancellation budget.
+#[derive(Debug, Clone, Default)]
+pub struct ApproxExecutor {
+    /// Execution configuration.
+    pub config: EngineConfig,
+    /// Cancellation budget (unlimited by default).
+    pub budget: Budget,
+}
+
+impl ApproxExecutor {
+    /// An approximate executor with the given configuration and no budget
+    /// caps.
+    pub fn new(config: EngineConfig) -> Self {
+        Self {
+            config,
+            budget: Budget::unlimited(),
+        }
+    }
+
+    /// Sets the cancellation budget.
+    pub fn with_budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
+        self
+    }
+}
+
+impl Execute for ApproxExecutor {
+    fn execute(&self, scramble: &Scramble, query: &AggQuery) -> EngineResult<QueryResult> {
+        execute_budgeted(scramble, query, &self.config, &self.budget)
+    }
+
+    fn label(&self) -> &'static str {
+        "Approx"
+    }
+}
+
+/// The exact full-scan baseline as an [`Execute`] implementation.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExactExecutor;
+
+impl Execute for ExactExecutor {
+    fn execute(&self, scramble: &Scramble, query: &AggQuery) -> EngineResult<QueryResult> {
+        execute_exact(scramble, query)
+    }
+
+    fn label(&self) -> &'static str {
+        "Exact"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastframe_store::column::Column;
+    use fastframe_store::expr::Expr;
+    use fastframe_store::table::Table;
+
+    fn scramble() -> Scramble {
+        let n = 2_000usize;
+        let t = Table::new(vec![
+            Column::float("x", (0..n).map(|i| (i % 5) as f64).collect()),
+            Column::categorical(
+                "g",
+                &(0..n).map(|i| format!("g{}", i % 2)).collect::<Vec<_>>(),
+            ),
+        ])
+        .unwrap();
+        Scramble::build_with(&t, 3, 25, 0.0).unwrap()
+    }
+
+    #[test]
+    fn approx_and_exact_are_interchangeable() {
+        let s = scramble();
+        let q = AggQuery::avg("q", Expr::col("x"))
+            .group_by("g")
+            .having_gt(1.0)
+            .build();
+        let config = EngineConfig::builder()
+            .delta(1e-9)
+            .round_rows(500)
+            .start_block(0)
+            .build();
+        let executors: [&dyn Execute; 2] = [&ApproxExecutor::new(config), &ExactExecutor];
+        let mut selections = Vec::new();
+        for executor in executors {
+            let r = executor.execute(&s, &q).unwrap();
+            let mut labels = r.selected_labels();
+            labels.sort();
+            selections.push(labels);
+        }
+        assert_eq!(selections[0], selections[1]);
+        assert_eq!(ApproxExecutor::default().label(), "Approx");
+        assert_eq!(ExactExecutor.label(), "Exact");
+    }
+
+    #[test]
+    fn approx_executor_honours_its_budget() {
+        let s = scramble();
+        let q = AggQuery::avg("q", Expr::col("x"))
+            .group_by("g")
+            .absolute_width(0.0)
+            .build();
+        let config = EngineConfig::builder()
+            .delta(1e-9)
+            .round_rows(500)
+            .start_block(0)
+            .build();
+        let executor = ApproxExecutor::new(config).with_budget(Budget::unlimited().max_rows(600));
+        let r = executor.execute(&s, &q).unwrap();
+        assert!(!r.converged);
+        assert!(r.metrics.scan.rows_scanned <= 600);
+    }
+}

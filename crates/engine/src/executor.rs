@@ -20,6 +20,12 @@
 //!    satisfied.
 //! 5. **Finalize**: produce per-group results, apply HAVING / ORDER BY-LIMIT
 //!    selection, and report metrics (wall time, blocks fetched, rounds).
+//!
+//! Execution is *progressive*: [`execute_progressive`] emits a [`Snapshot`]
+//! of every group's running interval after each round, honours the
+//! cancellation caps of a [`Budget`], and lets a per-round observer stop the
+//! scan ([`RoundControl`]). The blocking [`execute_approx`] simply drains
+//! that stream and keeps the finalized [`QueryResult`].
 
 use std::collections::HashMap;
 use std::time::Instant;
@@ -36,10 +42,17 @@ use fastframe_store::table::Table;
 use crate::config::{EngineConfig, SamplingStrategy};
 use crate::error::{EngineError, EngineResult};
 use crate::metrics::QueryMetrics;
+use crate::progressive::{
+    Budget, CancellationReason, GroupProgress, ProgressiveResult, RoundControl, Snapshot,
+};
 use crate::query::{AggQuery, AggregateFunction};
 use crate::result::{select_groups, GroupKey, QueryResult};
 use crate::sampling::{plan_batch, ActiveSet, PeekPlanner, PlanContext};
 use crate::view::AggregateView;
+
+/// A per-round observer: receives each round's [`Snapshot`] and decides
+/// whether the scan continues.
+pub type RoundObserver<'a> = dyn FnMut(&Snapshot) -> RoundControl + 'a;
 
 /// A batch planner: maps a batch of blocks (plus the following batch, for
 /// lookahead prefetching) and the current active set to fetch/skip decisions
@@ -48,7 +61,7 @@ type BatchPlannerFn<'a> =
     dyn FnMut(&[BlockId], Option<&[BlockId]>, &ActiveSet) -> (Vec<bool>, u64) + 'a;
 
 /// A query bound against a particular scramble.
-struct BoundQuery {
+pub(crate) struct BoundQuery {
     target: BoundExpr,
     predicate: BoundPredicate,
     group_cols: Vec<usize>,
@@ -58,7 +71,7 @@ struct BoundQuery {
     view_parts: usize,
 }
 
-fn bind_query(scramble: &Scramble, query: &AggQuery) -> EngineResult<BoundQuery> {
+pub(crate) fn bind_query(scramble: &Scramble, query: &AggQuery) -> EngineResult<BoundQuery> {
     let table = scramble.table();
     if table.num_rows() == 0 {
         return Err(EngineError::EmptyScramble);
@@ -263,12 +276,81 @@ impl ScanState {
     }
 }
 
-/// Executes an approximate query over a scramble.
+/// The progress-tracking side of one execution: cancellation budget, the
+/// optional per-round observer, and the snapshots collected so far. When no
+/// observer is attached (blocking execution), per-round [`Snapshot`]s are
+/// not materialized at all, keeping the hot path free of the clone cost.
+struct ProgressiveSink<'a, 'b> {
+    budget: &'a Budget,
+    observer: Option<&'a mut RoundObserver<'b>>,
+    snapshots: Vec<Snapshot>,
+    start: Instant,
+    cancellation: Option<CancellationReason>,
+}
+
+impl ProgressiveSink<'_, '_> {
+    /// Whether the wall-clock deadline (if any) has passed; records the
+    /// cancellation if so.
+    fn check_deadline(&mut self) -> bool {
+        if let Some(deadline) = self.budget.deadline {
+            if self.start.elapsed() >= deadline {
+                self.cancellation = Some(CancellationReason::Deadline);
+                return true;
+            }
+        }
+        false
+    }
+}
+
+/// Executes `query` approximately with early stopping, blocking until the
+/// stopping condition is satisfied or the scramble is exhausted — the
+/// drained form of the progressive stream, with an unlimited [`Budget`].
 pub fn execute_approx(
     scramble: &Scramble,
     query: &AggQuery,
     config: &EngineConfig,
 ) -> EngineResult<QueryResult> {
+    execute_budgeted(scramble, query, config, &Budget::unlimited())
+}
+
+/// Executes `query` approximately with early stopping and the caps of
+/// `budget`, blocking for the final (possibly unconverged) result. No
+/// per-round snapshots are materialized.
+pub fn execute_budgeted(
+    scramble: &Scramble,
+    query: &AggQuery,
+    config: &EngineConfig,
+    budget: &Budget,
+) -> EngineResult<QueryResult> {
+    run_progressive(scramble, query, config, budget, None).map(ProgressiveResult::into_result)
+}
+
+/// Executes an approximate query over a scramble progressively: after every
+/// OptStop round the current per-group state is snapshotted, appended to the
+/// returned [`ProgressiveResult`], and offered to `observer`, which may stop
+/// the scan. The caps of `budget` are enforced during the scan; a cancelled
+/// execution finalizes the current (valid, unconverged) state rather than
+/// erroring.
+pub fn execute_progressive(
+    scramble: &Scramble,
+    query: &AggQuery,
+    config: &EngineConfig,
+    budget: &Budget,
+    observer: &mut RoundObserver<'_>,
+) -> EngineResult<ProgressiveResult> {
+    run_progressive(scramble, query, config, budget, Some(observer))
+}
+
+/// Shared implementation of the blocking and progressive execution modes:
+/// `observer` being `None` selects blocking mode, which skips snapshot
+/// materialization entirely.
+fn run_progressive(
+    scramble: &Scramble,
+    query: &AggQuery,
+    config: &EngineConfig,
+    budget: &Budget,
+    observer: Option<&mut RoundObserver<'_>>,
+) -> EngineResult<ProgressiveResult> {
     let start_time = Instant::now();
     let bound = bind_query(scramble, query)?;
     let table = scramble.table();
@@ -319,6 +401,13 @@ pub fn execute_approx(
         any_active_skip: false,
         converged: false,
     };
+    let mut sink = ProgressiveSink {
+        budget,
+        observer,
+        snapshots: Vec::new(),
+        start: start_time,
+        cancellation: None,
+    };
 
     // Run the scan loop with the strategy-appropriate batch planner.
     match config.strategy {
@@ -343,6 +432,7 @@ pub fn execute_approx(
                 round_blocks,
                 batch_size,
                 &mut state,
+                &mut sink,
                 &mut planner,
             )?;
         }
@@ -383,6 +473,7 @@ pub fn execute_approx(
                     round_blocks,
                     batch_size,
                     &mut state,
+                    &mut sink,
                     &mut planner,
                 );
                 // `peek` is dropped before the scope ends, closing the
@@ -395,10 +486,11 @@ pub fn execute_approx(
     }
 
     // Final round so that views updated since the last round evaluation have
-    // fresh intervals, then finalize.
+    // fresh intervals, then finalize. A cancelled scan is a partial pass, so
+    // its results are never exact.
     state.rounds += 1;
     let final_delta = view_budget.optstop_round(state.rounds as usize);
-    let full_pass = !state.converged;
+    let full_pass = !state.converged && sink.cancellation.is_none();
     let mut groups = Vec::with_capacity(state.views.len());
     for (i, view) in state.views.iter_mut().enumerate() {
         let exact = full_pass && !(state.any_active_skip && state.ever_inactive[i]);
@@ -421,12 +513,16 @@ pub fn execute_approx(
         scan: state.stats,
     };
 
-    Ok(QueryResult {
-        query_name: query.name.clone(),
-        groups,
-        selected,
-        converged: state.converged,
-        metrics,
+    Ok(ProgressiveResult {
+        snapshots: sink.snapshots,
+        result: QueryResult {
+            query_name: query.name.clone(),
+            groups,
+            selected,
+            converged: state.converged,
+            metrics,
+        },
+        cancellation: sink.cancellation,
     })
 }
 
@@ -445,13 +541,22 @@ fn run_scan_loop(
     round_blocks: usize,
     batch_size: usize,
     state: &mut ScanState,
+    sink: &mut ProgressiveSink<'_, '_>,
     planner: &mut BatchPlannerFn<'_>,
 ) -> EngineResult<()> {
     let table = scramble.table();
     let mut fetched_since_round = 0usize;
     let num_batches = blocks.len().div_ceil(batch_size);
 
+    if sink.budget.max_rounds == Some(0) {
+        sink.cancellation = Some(CancellationReason::RoundBudget);
+        return Ok(());
+    }
+
     'batches: for batch_idx in 0..num_batches {
+        if sink.check_deadline() {
+            break 'batches;
+        }
         let start = batch_idx * batch_size;
         let end = (start + batch_size).min(blocks.len());
         let chunk = &blocks[start..end];
@@ -471,20 +576,78 @@ fn run_scan_loop(
                 state.record_skipped_block((rows.end - rows.start) as u64);
                 continue;
             }
+            if let Some(cap) = sink.budget.max_rows {
+                let rows = scramble.block_rows(block);
+                if state.rows_scanned + (rows.end - rows.start) as u64 > cap {
+                    sink.cancellation = Some(CancellationReason::RowBudget);
+                    break 'batches;
+                }
+            }
             process_block(table, bound, query.aggregate, block, scramble, state);
             fetched_since_round += 1;
 
             if fetched_since_round >= round_blocks {
                 fetched_since_round = 0;
-                let satisfied = evaluate_round(query, config, view_budget, scramble_rows, state)?;
+                let (satisfied, group_snapshots) =
+                    evaluate_round(query, config, view_budget, scramble_rows, state)?;
+                let mut control = RoundControl::Continue;
+                if sink.observer.is_some() {
+                    let snapshot =
+                        make_snapshot(state, &group_snapshots, satisfied, sink.start.elapsed());
+                    if let Some(observer) = sink.observer.as_deref_mut() {
+                        control = observer(&snapshot);
+                    }
+                    sink.snapshots.push(snapshot);
+                }
                 if satisfied {
                     state.converged = true;
+                    break 'batches;
+                }
+                if control == RoundControl::Stop {
+                    sink.cancellation = Some(CancellationReason::Caller);
+                    break 'batches;
+                }
+                if sink
+                    .budget
+                    .max_rounds
+                    .is_some_and(|cap| state.rounds >= cap)
+                {
+                    sink.cancellation = Some(CancellationReason::RoundBudget);
+                    break 'batches;
+                }
+                if sink.check_deadline() {
                     break 'batches;
                 }
             }
         }
     }
     Ok(())
+}
+
+/// Packages the group snapshots of one completed round into a public
+/// [`Snapshot`].
+fn make_snapshot(
+    state: &ScanState,
+    group_snapshots: &[GroupSnapshot],
+    converged: bool,
+    elapsed: std::time::Duration,
+) -> Snapshot {
+    Snapshot {
+        round: state.rounds,
+        rows_scanned: state.rows_scanned,
+        blocks_fetched: state.stats.blocks_fetched,
+        elapsed,
+        converged,
+        groups: group_snapshots
+            .iter()
+            .map(|s| GroupProgress {
+                key: state.views[s.group].key.clone(),
+                estimate: s.estimate,
+                ci: s.ci,
+                samples: s.samples,
+            })
+            .collect(),
+    }
 }
 
 /// Reads one block: evaluates the predicate per row, routes matching rows to
@@ -519,14 +682,15 @@ fn process_block(
 }
 
 /// Recomputes every view's intervals with this round's decayed δ, evaluates
-/// the stopping condition, and refreshes the active set.
+/// the stopping condition, and refreshes the active set. Returns the verdict
+/// plus the per-view snapshots the verdict was computed from.
 fn evaluate_round(
     query: &AggQuery,
     config: &EngineConfig,
     view_budget: &DeltaBudget,
     scramble_rows: u64,
     state: &mut ScanState,
-) -> EngineResult<bool> {
+) -> EngineResult<(bool, Vec<GroupSnapshot>)> {
     state.rounds += 1;
     state.stats.record_round();
     let round_delta = view_budget.optstop_round(state.rounds as usize);
@@ -559,7 +723,7 @@ fn evaluate_round(
         );
         state.active_view_ids = active_ids;
     }
-    Ok(satisfied)
+    Ok((satisfied, snapshots))
 }
 
 #[cfg(test)]
@@ -870,6 +1034,148 @@ mod tests {
         assert!(r.metrics.rounds >= 1);
         assert!(r.metrics.wall_time.as_nanos() > 0);
         assert!(r.metrics.rows_sampled > 0);
+    }
+
+    #[test]
+    fn progressive_snapshots_tighten_until_convergence() {
+        let s = test_scramble();
+        let q = AggQuery::avg("prog", Expr::col("delay"))
+            .group_by("airline")
+            .relative_error(0.3)
+            .build();
+        let cfg = fast_config(BounderKind::BernsteinRangeTrim, SamplingStrategy::Scan);
+        let mut seen = 0usize;
+        let mut observer = |_: &Snapshot| {
+            seen += 1;
+            RoundControl::Continue
+        };
+        let p = execute_progressive(&s, &q, &cfg, &Budget::unlimited(), &mut observer).unwrap();
+        assert!(
+            p.rounds() >= 2,
+            "expected several rounds, got {}",
+            p.rounds()
+        );
+        assert_eq!(seen, p.rounds(), "observer sees every snapshot");
+        assert!(p.cancellation.is_none());
+        for pair in p.snapshots.windows(2) {
+            for (a, b) in pair[0].groups.iter().zip(&pair[1].groups) {
+                assert_eq!(a.key, b.key);
+                assert!(
+                    b.ci.width() <= a.ci.width() + 1e-12,
+                    "running interval widened: {:?} -> {:?}",
+                    a.ci,
+                    b.ci
+                );
+                assert!(b.samples >= a.samples);
+            }
+        }
+        assert!(p.last().unwrap().converged);
+        assert!(p.converged());
+    }
+
+    #[test]
+    fn row_budget_cancels_without_exceeding_the_cap() {
+        let s = test_scramble();
+        // Impossible stopping condition: only the budget can stop the scan.
+        let q = AggQuery::avg("capped", Expr::col("delay"))
+            .group_by("airline")
+            .absolute_width(0.0)
+            .build();
+        let cfg = fast_config(BounderKind::BernsteinRangeTrim, SamplingStrategy::Scan);
+        let cap = 4_321u64;
+        let budget = Budget::unlimited().max_rows(cap);
+        let mut observer = |_: &Snapshot| RoundControl::Continue;
+        let p = execute_progressive(&s, &q, &cfg, &budget, &mut observer).unwrap();
+        assert_eq!(p.cancellation, Some(CancellationReason::RowBudget));
+        assert!(!p.converged());
+        assert!(p.result.metrics.scan.rows_scanned <= cap);
+        for snap in &p.snapshots {
+            assert!(snap.rows_scanned <= cap);
+        }
+        // The cancelled result is still a valid approximation.
+        assert_eq!(p.result.groups.len(), 3);
+        for g in &p.result.groups {
+            assert!(!g.exact);
+            assert!(g.ci.lo <= g.ci.hi);
+        }
+    }
+
+    #[test]
+    fn round_budget_and_caller_stop_cancel_the_scan() {
+        let s = test_scramble();
+        let q = AggQuery::avg("rounds", Expr::col("delay"))
+            .group_by("airline")
+            .absolute_width(0.0)
+            .build();
+        let cfg = fast_config(BounderKind::BernsteinRangeTrim, SamplingStrategy::Scan);
+
+        let mut observer = |_: &Snapshot| RoundControl::Continue;
+        let budget = Budget::unlimited().max_rounds(2);
+        let p = execute_progressive(&s, &q, &cfg, &budget, &mut observer).unwrap();
+        assert_eq!(p.cancellation, Some(CancellationReason::RoundBudget));
+        assert_eq!(p.rounds(), 2);
+
+        let mut stopper = |snap: &Snapshot| {
+            if snap.round >= 3 {
+                RoundControl::Stop
+            } else {
+                RoundControl::Continue
+            }
+        };
+        let p = execute_progressive(&s, &q, &cfg, &Budget::unlimited(), &mut stopper).unwrap();
+        assert_eq!(p.cancellation, Some(CancellationReason::Caller));
+        assert_eq!(p.rounds(), 3);
+
+        let mut observer = |_: &Snapshot| RoundControl::Continue;
+        let p = execute_progressive(
+            &s,
+            &q,
+            &cfg,
+            &Budget::unlimited().max_rounds(0),
+            &mut observer,
+        )
+        .unwrap();
+        assert_eq!(p.cancellation, Some(CancellationReason::RoundBudget));
+        assert_eq!(p.rounds(), 0);
+        assert_eq!(p.result.metrics.scan.rows_scanned, 0);
+    }
+
+    #[test]
+    fn zero_deadline_cancels_immediately() {
+        let s = test_scramble();
+        let q = AggQuery::avg("deadline", Expr::col("delay"))
+            .group_by("airline")
+            .absolute_width(0.0)
+            .build();
+        let cfg = fast_config(BounderKind::BernsteinRangeTrim, SamplingStrategy::Scan);
+        let budget = Budget::unlimited().deadline(std::time::Duration::ZERO);
+        let mut observer = |_: &Snapshot| RoundControl::Continue;
+        let p = execute_progressive(&s, &q, &cfg, &budget, &mut observer).unwrap();
+        assert_eq!(p.cancellation, Some(CancellationReason::Deadline));
+        assert!(!p.converged());
+        assert_eq!(p.result.groups.len(), 3);
+    }
+
+    #[test]
+    fn drained_execute_matches_progressive_final_result() {
+        let s = test_scramble();
+        let q = AggQuery::avg("drain", Expr::col("delay"))
+            .group_by("airline")
+            .having_gt(15.0)
+            .build();
+        let cfg = fast_config(BounderKind::BernsteinRangeTrim, SamplingStrategy::Scan);
+        let blocking = execute_approx(&s, &q, &cfg).unwrap();
+        let mut observer = |_: &Snapshot| RoundControl::Continue;
+        let progressive =
+            execute_progressive(&s, &q, &cfg, &Budget::unlimited(), &mut observer).unwrap();
+        assert_eq!(
+            blocking.selected_labels(),
+            progressive.result.selected_labels()
+        );
+        assert_eq!(
+            blocking.metrics.blocks_fetched(),
+            progressive.result.metrics.blocks_fetched()
+        );
     }
 
     #[test]

@@ -1,0 +1,148 @@
+//! Deprecated single-table entry point, kept for one release.
+//!
+//! [`FastFrame`] was the original public API: one table, blocking execution,
+//! no intermediate state. It is now a thin shim over a one-table
+//! [`Session`]; migrate to [`Session`] + [`Session::query`] (fluent,
+//! multi-table, progressive).
+
+#![allow(deprecated)]
+
+use fastframe_store::scramble::Scramble;
+use fastframe_store::table::{StoreResult, Table};
+
+use crate::config::EngineConfig;
+use crate::error::EngineResult;
+use crate::query::AggQuery;
+use crate::result::QueryResult;
+use crate::session::Session;
+
+/// Name under which the shim registers its single table.
+const FRAME_TABLE: &str = "frame";
+
+/// An in-memory FastFrame instance over one table.
+///
+/// Deprecated: use [`Session`] instead —
+///
+/// ```
+/// use fastframe_engine::prelude::*;
+/// use fastframe_store::prelude::*;
+///
+/// let table = Table::new(vec![
+///     Column::float("delay", vec![1.0, 2.0, 3.0]),
+/// ]).unwrap();
+/// let mut session = Session::new();
+/// session.register_with("flights", &table, TableOptions::default().seed(42)).unwrap();
+/// let result = session.query("flights").avg(Expr::col("delay")).execute().unwrap();
+/// assert_eq!(result.groups.len(), 1);
+/// ```
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Session` with the fluent `session.query(...)` builder instead"
+)]
+#[derive(Debug, Clone)]
+pub struct FastFrame {
+    session: Session,
+}
+
+impl FastFrame {
+    /// Builds a FastFrame instance by scrambling `table` with the given seed
+    /// (paper defaults: 25-row blocks, exact catalog ranges).
+    pub fn from_table(table: &Table, seed: u64) -> StoreResult<Self> {
+        Ok(Self::from_scramble(Scramble::build(table, seed)?))
+    }
+
+    /// Builds a FastFrame instance with explicit block size and catalog range
+    /// slack.
+    pub fn from_table_with(
+        table: &Table,
+        seed: u64,
+        block_size: usize,
+        range_slack: f64,
+    ) -> StoreResult<Self> {
+        Ok(Self::from_scramble(Scramble::build_with(
+            table,
+            seed,
+            block_size,
+            range_slack,
+        )?))
+    }
+
+    /// Wraps an existing scramble.
+    pub fn from_scramble(scramble: Scramble) -> Self {
+        let mut session = Session::new();
+        session
+            .register_scramble(FRAME_TABLE, scramble)
+            .expect("fresh session holds no table");
+        Self { session }
+    }
+
+    /// The underlying scramble.
+    pub fn scramble(&self) -> &Scramble {
+        self.session
+            .scramble(FRAME_TABLE)
+            .expect("registered at construction")
+    }
+
+    /// Executes `query` approximately with early stopping.
+    pub fn execute(&self, query: &AggQuery, config: &EngineConfig) -> EngineResult<QueryResult> {
+        self.session
+            .prepare(FRAME_TABLE, query)?
+            .with_config(config.clone())
+            .execute()
+    }
+
+    /// Executes `query` exactly (the `Exact` baseline).
+    pub fn execute_exact(&self, query: &AggQuery) -> EngineResult<QueryResult> {
+        self.session.prepare(FRAME_TABLE, query)?.execute_exact()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastframe_core::bounder::BounderKind;
+    use fastframe_store::column::Column;
+    use fastframe_store::expr::Expr;
+
+    fn table() -> Table {
+        let n = 5_000usize;
+        Table::new(vec![
+            Column::float("delay", (0..n).map(|i| (i % 3) as f64 * 10.0).collect()),
+            Column::categorical(
+                "airline",
+                &(0..n).map(|i| format!("A{}", i % 3)).collect::<Vec<_>>(),
+            ),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn shim_still_answers_queries() {
+        let t = table();
+        let frame = FastFrame::from_table(&t, 99).unwrap();
+        let q = AggQuery::avg("q", Expr::col("delay"))
+            .group_by("airline")
+            .having_gt(5.0)
+            .build();
+        let cfg = EngineConfig::with_bounder(BounderKind::BernsteinRangeTrim)
+            .delta(1e-9)
+            .round_rows(1_000)
+            .start_block(0);
+        let approx = frame.execute(&q, &cfg).unwrap();
+        let exact = frame.execute_exact(&q).unwrap();
+        let mut a = approx.selected_labels();
+        let mut e = exact.selected_labels();
+        a.sort();
+        e.sort();
+        assert_eq!(a, e);
+    }
+
+    #[test]
+    fn from_table_with_custom_block_size() {
+        let t = table();
+        let frame = FastFrame::from_table_with(&t, 1, 100, 0.05).unwrap();
+        assert_eq!(frame.scramble().layout().block_size(), 100);
+        let frame2 = FastFrame::from_scramble(frame.scramble().clone());
+        assert_eq!(frame2.scramble().num_rows(), 5_000);
+    }
+}

@@ -17,8 +17,53 @@
 //!   `ActivePeek` with asynchronous lookahead), and
 //! * the `Exact` baseline executor.
 //!
-//! The main entry point is [`FastFrame`]; see the crate examples
-//! (`examples/quickstart.rs` and friends) for end-to-end usage.
+//! ## Entry point
+//!
+//! The public API is built around three pieces:
+//!
+//! 1. [`Session`] — a named catalog of scrambled tables (register/drop, per
+//!    table block size & seed) plus shared [`EngineConfig`] defaults;
+//! 2. the fluent [`QueryBuilder`] reached via [`Session::query`], which
+//!    type-checks every clause against the catalog *at build time*;
+//! 3. [`ProgressiveResult`] — per-round [`Snapshot`]s of every group's
+//!    running confidence interval, with first-class cancellation via
+//!    [`Budget`] (row cap, round cap, wall-clock deadline), so callers can
+//!    render online-aggregation UIs or stop early with a valid answer.
+//!
+//! ```
+//! use fastframe_engine::prelude::*;
+//! use fastframe_store::prelude::*;
+//!
+//! let table = Table::new(vec![
+//!     Column::float("delay", (0..2_000).map(|i| (i % 30) as f64).collect()),
+//!     Column::categorical("airline", &(0..2_000).map(|i| format!("A{}", i % 3)).collect::<Vec<_>>()),
+//! ]).unwrap();
+//!
+//! let mut session = Session::new();
+//! session.register("flights", &table).unwrap();
+//!
+//! // Blocking execution (drains the progressive stream).
+//! let result = session.query("flights")
+//!     .avg(Expr::col("delay"))
+//!     .group_by("airline")
+//!     .having_gt(10.0)
+//!     .execute().unwrap();
+//! assert_eq!(result.groups.len(), 3);
+//!
+//! // Progressive execution with a cancellation budget.
+//! let progressive = session.query("flights")
+//!     .avg(Expr::col("delay"))
+//!     .group_by("airline")
+//!     .absolute_width(0.0)              // never satisfiable...
+//!     .budget(Budget::unlimited().max_rows(500))  // ...so the budget stops it
+//!     .progressive().unwrap();
+//! assert!(progressive.cancelled());
+//! assert!(!progressive.converged());   // a valid, merely unconverged answer
+//! ```
+//!
+//! Exact and approximate executors are interchangeable behind the
+//! [`Execute`] trait. The previous single-table entry point, [`FastFrame`],
+//! remains as a deprecated shim over a one-table session for one release.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -27,31 +72,46 @@
 pub mod config;
 pub mod error;
 pub mod exact;
+pub mod execute;
 pub mod executor;
+pub mod frame;
 pub mod metrics;
+pub mod progressive;
 pub mod query;
 pub mod result;
 pub mod sampling;
 pub mod session;
 pub mod view;
 
-pub use config::{EngineConfig, SamplingStrategy};
+pub use config::{EngineConfig, EngineConfigBuilder, SamplingStrategy};
 pub use error::{EngineError, EngineResult};
+pub use execute::{ApproxExecutor, ExactExecutor, Execute};
+#[allow(deprecated)]
+pub use frame::FastFrame;
 pub use metrics::QueryMetrics;
+pub use progressive::{
+    Budget, CancellationReason, GroupProgress, ProgressiveResult, RoundControl, Snapshot,
+};
 pub use query::{AggQuery, AggQueryBuilder, AggregateFunction, CmpOp, HavingClause, OrderLimit};
 pub use result::{GroupKey, GroupResult, QueryResult};
-pub use session::FastFrame;
+pub use session::{PreparedQuery, QueryBuilder, Session, TableOptions};
 
 /// Convenience re-exports for downstream crates and examples.
 pub mod prelude {
-    pub use crate::config::{EngineConfig, SamplingStrategy};
+    pub use crate::config::{EngineConfig, EngineConfigBuilder, SamplingStrategy};
     pub use crate::error::{EngineError, EngineResult};
+    pub use crate::execute::{ApproxExecutor, ExactExecutor, Execute};
+    #[allow(deprecated)]
+    pub use crate::frame::FastFrame;
     pub use crate::metrics::QueryMetrics;
+    pub use crate::progressive::{
+        Budget, CancellationReason, GroupProgress, ProgressiveResult, RoundControl, Snapshot,
+    };
     pub use crate::query::{
         AggQuery, AggQueryBuilder, AggregateFunction, CmpOp, HavingClause, OrderLimit,
     };
     pub use crate::result::{GroupKey, GroupResult, QueryResult};
-    pub use crate::session::FastFrame;
+    pub use crate::session::{PreparedQuery, QueryBuilder, Session, TableOptions};
     pub use fastframe_core::bounder::BounderKind;
     pub use fastframe_core::stopping::StoppingCondition;
     pub use fastframe_store::expr::Expr;

@@ -1,89 +1,543 @@
-//! The FastFrame session: the user-facing entry point tying together the
-//! scramble, the approximate executor and the exact baseline.
+//! The FastFrame session: a named catalog of scrambles plus shared execution
+//! defaults, queried through a fluent, catalog-checked [`QueryBuilder`].
+//!
+//! A [`Session`] owns any number of registered tables (each stored as a
+//! [`Scramble`], built once and amortized over many queries) and the
+//! [`EngineConfig`] defaults every query inherits unless overridden
+//! per-query. Queries are phrased fluently:
+//!
+//! ```
+//! use fastframe_engine::prelude::*;
+//! use fastframe_store::prelude::*;
+//!
+//! let table = Table::new(vec![
+//!     Column::float("delay", (0..1000).map(|i| (i % 30) as f64).collect()),
+//!     Column::categorical("airline", &(0..1000).map(|i| format!("A{}", i % 3)).collect::<Vec<_>>()),
+//! ]).unwrap();
+//!
+//! let mut session = Session::new();
+//! session.register("flights", &table).unwrap();
+//!
+//! let result = session
+//!     .query("flights")
+//!     .avg(Expr::col("delay"))
+//!     .group_by("airline")
+//!     .having_gt(10.0)
+//!     .execute()
+//!     .unwrap();
+//! assert_eq!(result.groups.len(), 3);
+//! ```
+//!
+//! The builder *type-checks against the catalog at build time*: unknown
+//! tables, unknown or mistyped columns, and non-categorical GROUP BY columns
+//! are reported by [`QueryBuilder::build`] before any block is scanned.
+//! Execution comes in three modes — blocking ([`PreparedQuery::execute`]),
+//! snapshot-collecting ([`PreparedQuery::progressive`]) and streaming with
+//! caller cancellation ([`PreparedQuery::stream`]) — all honouring a
+//! [`Budget`].
 
+use std::collections::BTreeMap;
+
+use fastframe_core::stopping::StoppingCondition;
+use fastframe_store::block::DEFAULT_BLOCK_SIZE;
+use fastframe_store::expr::Expr;
+use fastframe_store::predicate::Predicate;
 use fastframe_store::scramble::Scramble;
-use fastframe_store::table::{StoreResult, Table};
+use fastframe_store::table::Table;
 
 use crate::config::EngineConfig;
-use crate::error::EngineResult;
+use crate::error::{EngineError, EngineResult};
 use crate::exact::execute_exact;
-use crate::executor::execute_approx;
-use crate::query::AggQuery;
+use crate::execute::Execute;
+use crate::executor::{execute_budgeted, execute_progressive, RoundObserver};
+use crate::progressive::{Budget, ProgressiveResult, RoundControl, Snapshot};
+use crate::query::{AggQuery, AggQueryBuilder, AggregateFunction};
 use crate::result::QueryResult;
 
-/// An in-memory FastFrame instance over one table.
-///
-/// ```
-/// use fastframe_engine::prelude::*;
-/// use fastframe_store::prelude::*;
-///
-/// let table = Table::new(vec![
-///     Column::float("delay", (0..1000).map(|i| (i % 30) as f64).collect()),
-///     Column::categorical("airline", &(0..1000).map(|i| format!("A{}", i % 3)).collect::<Vec<_>>()),
-/// ]).unwrap();
-/// let frame = FastFrame::from_table(&table, 42).unwrap();
-///
-/// let query = AggQuery::avg("demo", Expr::col("delay"))
-///     .group_by("airline")
-///     .having_gt(10.0)
-///     .build();
-/// let result = frame.execute(&query, &EngineConfig::default()).unwrap();
-/// assert_eq!(result.groups.len(), 3);
-/// ```
-#[derive(Debug, Clone)]
-pub struct FastFrame {
-    scramble: Scramble,
+/// Per-table scramble construction options: permutation seed, block size and
+/// catalog range slack.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableOptions {
+    /// Seed of the scramble permutation.
+    pub seed: u64,
+    /// Rows per block (the paper's default is 25).
+    pub block_size: usize,
+    /// Relative slack added to the catalog range bounds (0.0 = exact ranges).
+    pub range_slack: f64,
 }
 
-impl FastFrame {
-    /// Builds a FastFrame instance by scrambling `table` with the given seed
-    /// (paper defaults: 25-row blocks, exact catalog ranges).
-    pub fn from_table(table: &Table, seed: u64) -> StoreResult<Self> {
-        Ok(Self {
-            scramble: Scramble::build(table, seed)?,
-        })
+impl Default for TableOptions {
+    fn default() -> Self {
+        Self {
+            seed: 0x5eed,
+            block_size: DEFAULT_BLOCK_SIZE,
+            range_slack: 0.0,
+        }
+    }
+}
+
+impl TableOptions {
+    /// Sets the scramble permutation seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
     }
 
-    /// Builds a FastFrame instance with explicit block size and catalog range
-    /// slack.
-    pub fn from_table_with(
+    /// Sets the block size in rows.
+    pub fn block_size(mut self, block_size: usize) -> Self {
+        self.block_size = block_size;
+        self
+    }
+
+    /// Sets the catalog range slack.
+    pub fn range_slack(mut self, range_slack: f64) -> Self {
+        self.range_slack = range_slack;
+        self
+    }
+}
+
+/// A multi-table FastFrame session: a named catalog of scrambles and shared
+/// [`EngineConfig`] defaults with per-query overrides.
+#[derive(Debug, Clone, Default)]
+pub struct Session {
+    tables: BTreeMap<String, Scramble>,
+    defaults: EngineConfig,
+}
+
+impl Session {
+    /// An empty session with the paper-default [`EngineConfig`].
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty session whose queries inherit `defaults` unless overridden.
+    pub fn with_defaults(defaults: EngineConfig) -> Self {
+        Self {
+            tables: BTreeMap::new(),
+            defaults,
+        }
+    }
+
+    /// The session-wide execution defaults.
+    pub fn defaults(&self) -> &EngineConfig {
+        &self.defaults
+    }
+
+    /// Replaces the session-wide execution defaults.
+    pub fn set_defaults(&mut self, defaults: EngineConfig) {
+        self.defaults = defaults;
+    }
+
+    /// Registers `table` under `name` with [`TableOptions::default`],
+    /// scrambling it eagerly (the one-time cost amortized over all queries).
+    pub fn register(&mut self, name: impl Into<String>, table: &Table) -> EngineResult<()> {
+        self.register_with(name, table, TableOptions::default())
+    }
+
+    /// Registers `table` under `name` with explicit scramble options.
+    pub fn register_with(
+        &mut self,
+        name: impl Into<String>,
         table: &Table,
-        seed: u64,
-        block_size: usize,
-        range_slack: f64,
-    ) -> StoreResult<Self> {
-        Ok(Self {
-            scramble: Scramble::build_with(table, seed, block_size, range_slack)?,
+        options: TableOptions,
+    ) -> EngineResult<()> {
+        let name = name.into();
+        // Reject duplicates before paying the O(n) scramble-build cost.
+        if self.tables.contains_key(&name) {
+            return Err(EngineError::DuplicateTable { name });
+        }
+        let scramble =
+            Scramble::build_with(table, options.seed, options.block_size, options.range_slack)?;
+        self.register_scramble(name, scramble)
+    }
+
+    /// Registers a pre-built scramble under `name`.
+    pub fn register_scramble(
+        &mut self,
+        name: impl Into<String>,
+        scramble: Scramble,
+    ) -> EngineResult<()> {
+        let name = name.into();
+        if self.tables.contains_key(&name) {
+            return Err(EngineError::DuplicateTable { name });
+        }
+        self.tables.insert(name, scramble);
+        Ok(())
+    }
+
+    /// Drops a registered table, returning its scramble.
+    pub fn drop_table(&mut self, name: &str) -> EngineResult<Scramble> {
+        self.tables
+            .remove(name)
+            .ok_or_else(|| EngineError::UnknownTable {
+                name: name.to_string(),
+            })
+    }
+
+    /// Whether a table named `name` is registered.
+    pub fn contains(&self, name: &str) -> bool {
+        self.tables.contains_key(name)
+    }
+
+    /// Names of the registered tables, sorted.
+    pub fn table_names(&self) -> Vec<&str> {
+        self.tables.keys().map(String::as_str).collect()
+    }
+
+    /// Number of registered tables.
+    pub fn len(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Whether no table is registered.
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+
+    /// The scramble registered under `name`.
+    pub fn scramble(&self, name: &str) -> EngineResult<&Scramble> {
+        self.tables
+            .get(name)
+            .ok_or_else(|| EngineError::UnknownTable {
+                name: name.to_string(),
+            })
+    }
+
+    /// Starts a fluent query against the table registered under `name`.
+    ///
+    /// Table and column resolution is deferred to [`QueryBuilder::build`] (or
+    /// the terminal helpers that call it), which type-checks the whole query
+    /// against the catalog before execution.
+    pub fn query(&self, table: impl Into<String>) -> QueryBuilder<'_> {
+        QueryBuilder {
+            session: self,
+            table: table.into(),
+            name: None,
+            aggregate: None,
+            // Placeholder aggregate/name, overwritten in `build`.
+            inner: AggQuery::count(""),
+            config: None,
+            budget: Budget::unlimited(),
+        }
+    }
+
+    /// Validates a pre-built [`AggQuery`] against the table registered under
+    /// `table` and returns it prepared for execution with the session
+    /// defaults. This is the bridge for code that assembles [`AggQuery`]
+    /// values directly (e.g. the workload templates).
+    pub fn prepare(&self, table: &str, query: &AggQuery) -> EngineResult<PreparedQuery<'_>> {
+        let scramble = self.scramble(table)?;
+        validate(scramble, query)?;
+        Ok(PreparedQuery {
+            scramble,
+            query: query.clone(),
+            config: self.defaults.clone(),
+            budget: Budget::unlimited(),
+        })
+    }
+}
+
+/// Type-checks `query` against the scramble's table by running the
+/// executor's own binding step (and discarding the bound artifacts): every
+/// referenced column must exist with a compatible type, GROUP BY columns
+/// must be categorical, the target's range bounds must be derivable from the
+/// catalog, and the scramble must be non-empty. Reusing the executor's
+/// binder keeps build-time validation in lockstep with execution — anything
+/// that would fail to bind fails here first, on catalog metadata only (no
+/// blocks are read).
+fn validate(scramble: &Scramble, query: &AggQuery) -> EngineResult<()> {
+    crate::executor::bind_query(scramble, query).map(|_| ())
+}
+
+/// A fluent, catalog-checked builder for aggregate queries over one session
+/// table. Obtained from [`Session::query`]; finalized by [`Self::build`] or
+/// one of the terminal execution helpers.
+#[derive(Debug, Clone)]
+pub struct QueryBuilder<'s> {
+    session: &'s Session,
+    table: String,
+    name: Option<String>,
+    aggregate: Option<(AggregateFunction, Expr)>,
+    /// Clause accumulation is delegated to [`AggQueryBuilder`] so the
+    /// HAVING/ORDER-to-stopping-condition derivations and the default
+    /// stopping condition live in exactly one place; the aggregate, target
+    /// and name of this placeholder are overwritten in [`Self::build`].
+    inner: AggQueryBuilder,
+    config: Option<EngineConfig>,
+    budget: Budget,
+}
+
+impl<'s> QueryBuilder<'s> {
+    /// Aggregates `AVG(target)`.
+    pub fn avg(mut self, target: Expr) -> Self {
+        self.aggregate = Some((AggregateFunction::Avg, target));
+        self
+    }
+
+    /// Aggregates `SUM(target)`.
+    pub fn sum(mut self, target: Expr) -> Self {
+        self.aggregate = Some((AggregateFunction::Sum, target));
+        self
+    }
+
+    /// Aggregates `COUNT(*)`.
+    pub fn count(mut self) -> Self {
+        self.aggregate = Some((AggregateFunction::Count, Expr::lit(1.0)));
+        self
+    }
+
+    /// Names the query (defaults to `"<table>.<aggregate>"`).
+    pub fn named(mut self, name: impl Into<String>) -> Self {
+        self.name = Some(name.into());
+        self
+    }
+
+    /// Sets the WHERE-clause predicate.
+    pub fn filter(mut self, predicate: Predicate) -> Self {
+        self.inner = self.inner.filter(predicate);
+        self
+    }
+
+    /// Adds a GROUP BY column (categorical).
+    pub fn group_by(mut self, column: impl Into<String>) -> Self {
+        self.inner = self.inner.group_by(column);
+        self
+    }
+
+    /// Adds a `HAVING agg > threshold` clause and selects the matching
+    /// threshold-side stopping condition Í.
+    pub fn having_gt(mut self, threshold: f64) -> Self {
+        self.inner = self.inner.having_gt(threshold);
+        self
+    }
+
+    /// Adds a `HAVING agg < threshold` clause and selects the matching
+    /// threshold-side stopping condition Í.
+    pub fn having_lt(mut self, threshold: f64) -> Self {
+        self.inner = self.inner.having_lt(threshold);
+        self
+    }
+
+    /// Adds an `ORDER BY agg DESC LIMIT k` clause and selects the top-K
+    /// separation stopping condition Î.
+    pub fn order_desc_limit(mut self, k: usize) -> Self {
+        self.inner = self.inner.order_desc_limit(k);
+        self
+    }
+
+    /// Adds an `ORDER BY agg ASC LIMIT k` clause and selects the bottom-K
+    /// separation stopping condition Î.
+    pub fn order_asc_limit(mut self, k: usize) -> Self {
+        self.inner = self.inner.order_asc_limit(k);
+        self
+    }
+
+    /// Requires every group's relative error to drop below `epsilon`
+    /// (stopping condition Ì).
+    pub fn relative_error(mut self, epsilon: f64) -> Self {
+        self.inner = self.inner.relative_error(epsilon);
+        self
+    }
+
+    /// Requires every group's interval width to drop below `epsilon`
+    /// (stopping condition Ë).
+    pub fn absolute_width(mut self, epsilon: f64) -> Self {
+        self.inner = self.inner.absolute_width(epsilon);
+        self
+    }
+
+    /// Requires the full ordering of group aggregates to be determined
+    /// (stopping condition Ï).
+    pub fn groups_ordered(mut self) -> Self {
+        self.inner = self.inner.groups_ordered();
+        self
+    }
+
+    /// Requires a fixed number of contributing samples per group (stopping
+    /// condition Ê).
+    pub fn sample_count(mut self, m: u64) -> Self {
+        self.inner = self.inner.sample_count(m);
+        self
+    }
+
+    /// Sets the stopping condition explicitly (overrides any derived one).
+    pub fn stop_when(mut self, condition: StoppingCondition) -> Self {
+        self.inner = self.inner.stop_when(condition);
+        self
+    }
+
+    /// Replaces the session-default [`EngineConfig`] for this query.
+    pub fn config(mut self, config: EngineConfig) -> Self {
+        self.config = Some(config);
+        self
+    }
+
+    /// Tweaks the effective configuration through a builder seeded with the
+    /// current one (the session defaults unless [`Self::config`] was called):
+    /// `…​.tune(|c| c.delta(0.05).round_rows(10_000))`.
+    pub fn tune(
+        mut self,
+        f: impl FnOnce(crate::config::EngineConfigBuilder) -> crate::config::EngineConfigBuilder,
+    ) -> Self {
+        let base = self
+            .config
+            .take()
+            .unwrap_or_else(|| self.session.defaults.clone());
+        self.config = Some(f(base.to_builder()).build());
+        self
+    }
+
+    /// Sets the cancellation [`Budget`] for this query.
+    pub fn budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Finalizes the builder: resolves the table, type-checks every clause
+    /// against the catalog, and returns the query prepared for execution.
+    pub fn build(self) -> EngineResult<PreparedQuery<'s>> {
+        let scramble = self.session.scramble(&self.table)?;
+        let (aggregate, target) = self.aggregate.ok_or(EngineError::MissingAggregate)?;
+        let mut query = self.inner.build();
+        query.aggregate = aggregate;
+        query.target = target;
+        query.name = self
+            .name
+            .unwrap_or_else(|| format!("{}.{}", self.table, aggregate.to_string().to_lowercase()));
+        validate(scramble, &query)?;
+        Ok(PreparedQuery {
+            scramble,
+            query,
+            config: self.config.unwrap_or_else(|| self.session.defaults.clone()),
+            budget: self.budget,
         })
     }
 
-    /// Wraps an existing scramble.
-    pub fn from_scramble(scramble: Scramble) -> Self {
-        Self { scramble }
+    /// Builds and executes approximately, blocking until the stopping
+    /// condition is satisfied, a budget cap fires, or the scramble is
+    /// exhausted.
+    pub fn execute(self) -> EngineResult<QueryResult> {
+        self.build()?.execute()
     }
 
-    /// The underlying scramble.
-    pub fn scramble(&self) -> &Scramble {
-        &self.scramble
+    /// Builds and executes the `Exact` baseline.
+    pub fn execute_exact(self) -> EngineResult<QueryResult> {
+        self.build()?.execute_exact()
     }
 
-    /// Executes `query` approximately with early stopping.
-    pub fn execute(&self, query: &AggQuery, config: &EngineConfig) -> EngineResult<QueryResult> {
-        execute_approx(&self.scramble, query, config)
+    /// Builds and executes progressively, collecting every round's
+    /// [`Snapshot`].
+    pub fn progressive(self) -> EngineResult<ProgressiveResult> {
+        self.build()?.progressive()
     }
 
-    /// Executes `query` exactly (the `Exact` baseline).
-    pub fn execute_exact(&self, query: &AggQuery) -> EngineResult<QueryResult> {
-        execute_exact(&self.scramble, query)
+    /// Builds and executes progressively, offering every round's
+    /// [`Snapshot`] to `observer` (which may stop the scan).
+    pub fn stream(
+        self,
+        observer: impl FnMut(&Snapshot) -> RoundControl,
+    ) -> EngineResult<ProgressiveResult> {
+        self.build()?.stream(observer)
     }
 }
+
+/// A query that has been type-checked against a session table and bound to
+/// an effective configuration and budget — ready to run in any mode.
+#[derive(Debug, Clone)]
+pub struct PreparedQuery<'s> {
+    scramble: &'s Scramble,
+    query: AggQuery,
+    config: EngineConfig,
+    budget: Budget,
+}
+
+impl PreparedQuery<'_> {
+    /// The validated query.
+    pub fn query(&self) -> &AggQuery {
+        &self.query
+    }
+
+    /// The effective configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// The scramble this query runs over.
+    pub fn scramble(&self) -> &Scramble {
+        self.scramble
+    }
+
+    /// Replaces the effective configuration.
+    pub fn with_config(mut self, config: EngineConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Replaces the cancellation budget.
+    pub fn with_budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Executes approximately and blocks for the final result — the drained
+    /// form of the progressive stream (no intermediate snapshots are
+    /// materialized).
+    pub fn execute(&self) -> EngineResult<QueryResult> {
+        execute_budgeted(self.scramble, &self.query, &self.config, &self.budget)
+    }
+
+    /// Executes the `Exact` baseline (full scan, degenerate intervals).
+    pub fn execute_exact(&self) -> EngineResult<QueryResult> {
+        execute_exact(self.scramble, &self.query)
+    }
+
+    /// Executes progressively, collecting every round's [`Snapshot`] into
+    /// the returned [`ProgressiveResult`].
+    pub fn progressive(&self) -> EngineResult<ProgressiveResult> {
+        self.stream(|_| RoundControl::Continue)
+    }
+
+    /// Executes progressively, offering every round's [`Snapshot`] to
+    /// `observer`; returning [`RoundControl::Stop`] cancels the scan (the
+    /// result is finalized from the state reached so far).
+    pub fn stream(
+        &self,
+        mut observer: impl FnMut(&Snapshot) -> RoundControl,
+    ) -> EngineResult<ProgressiveResult> {
+        let observer: &mut RoundObserver<'_> = &mut observer;
+        execute_progressive(
+            self.scramble,
+            &self.query,
+            &self.config,
+            &self.budget,
+            observer,
+        )
+    }
+
+    /// Runs the query through an arbitrary [`Execute`] implementation,
+    /// making exact and approximate executors interchangeable.
+    ///
+    /// The executor is self-contained: it runs with *its own*
+    /// configuration and budget (e.g. those of an
+    /// [`crate::execute::ApproxExecutor`]), not the ones attached to this
+    /// prepared query — use [`Self::execute`] for those.
+    pub fn execute_with(&self, executor: &dyn Execute) -> EngineResult<QueryResult> {
+        executor.execute(self.scramble, &self.query)
+    }
+}
+
+// Compatibility re-export: `FastFrame` lived in this module before the
+// session redesign; keep its old import path working for the same one
+// release as the shim itself.
+#[allow(deprecated)]
+pub use crate::frame::FastFrame;
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::execute::{ApproxExecutor, ExactExecutor};
     use fastframe_core::bounder::BounderKind;
     use fastframe_store::column::Column;
-    use fastframe_store::expr::Expr;
 
     fn table() -> Table {
         let n = 5_000usize;
@@ -97,20 +551,69 @@ mod tests {
         .unwrap()
     }
 
+    fn session() -> Session {
+        let mut s = Session::with_defaults(
+            EngineConfig::builder()
+                .bounder(BounderKind::BernsteinRangeTrim)
+                .delta(1e-9)
+                .round_rows(1_000)
+                .start_block(0)
+                .build(),
+        );
+        s.register_with("flights", &table(), TableOptions::default().seed(99))
+            .unwrap();
+        s
+    }
+
     #[test]
-    fn approximate_and_exact_selections_agree() {
-        let t = table();
-        let frame = FastFrame::from_table(&t, 99).unwrap();
-        let q = AggQuery::avg("q", Expr::col("delay"))
+    fn catalog_management() {
+        let mut s = session();
+        assert!(s.contains("flights"));
+        assert_eq!(s.table_names(), vec!["flights"]);
+        assert_eq!(s.len(), 1);
+        assert!(!s.is_empty());
+
+        // Duplicate registration is rejected.
+        assert!(matches!(
+            s.register("flights", &table()),
+            Err(EngineError::DuplicateTable { .. })
+        ));
+
+        // A second table with custom options coexists.
+        s.register_with("other", &table(), TableOptions::default().block_size(100))
+            .unwrap();
+        assert_eq!(s.scramble("other").unwrap().layout().block_size(), 100);
+        assert_eq!(s.table_names(), vec!["flights", "other"]);
+
+        let dropped = s.drop_table("other").unwrap();
+        assert_eq!(dropped.num_rows(), 5_000);
+        assert!(matches!(
+            s.drop_table("other"),
+            Err(EngineError::UnknownTable { .. })
+        ));
+        assert!(matches!(
+            s.scramble("nope"),
+            Err(EngineError::UnknownTable { .. })
+        ));
+    }
+
+    #[test]
+    fn fluent_query_approx_and_exact_agree() {
+        let s = session();
+        let approx = s
+            .query("flights")
+            .avg(Expr::col("delay"))
             .group_by("airline")
             .having_gt(5.0)
-            .build();
-        let cfg = EngineConfig::with_bounder(BounderKind::BernsteinRangeTrim)
-            .delta(1e-9)
-            .round_rows(1_000)
-            .start_block(0);
-        let approx = frame.execute(&q, &cfg).unwrap();
-        let exact = frame.execute_exact(&q).unwrap();
+            .execute()
+            .unwrap();
+        let exact = s
+            .query("flights")
+            .avg(Expr::col("delay"))
+            .group_by("airline")
+            .having_gt(5.0)
+            .execute_exact()
+            .unwrap();
         let mut a = approx.selected_labels();
         let mut e = exact.selected_labels();
         a.sort();
@@ -120,11 +623,122 @@ mod tests {
     }
 
     #[test]
-    fn from_table_with_custom_block_size() {
-        let t = table();
-        let frame = FastFrame::from_table_with(&t, 1, 100, 0.05).unwrap();
-        assert_eq!(frame.scramble().layout().block_size(), 100);
-        let frame2 = FastFrame::from_scramble(frame.scramble().clone());
-        assert_eq!(frame2.scramble().num_rows(), 5_000);
+    fn build_time_type_checking() {
+        let s = session();
+        // Unknown table.
+        assert!(matches!(
+            s.query("nope").avg(Expr::col("delay")).build(),
+            Err(EngineError::UnknownTable { .. })
+        ));
+        // Missing aggregate.
+        assert!(matches!(
+            s.query("flights").group_by("airline").build(),
+            Err(EngineError::MissingAggregate)
+        ));
+        // Unknown target column — caught at build, not at execution.
+        assert!(matches!(
+            s.query("flights").avg(Expr::col("nope")).build(),
+            Err(EngineError::Store(_))
+        ));
+        // Unknown filter column.
+        assert!(matches!(
+            s.query("flights")
+                .avg(Expr::col("delay"))
+                .filter(Predicate::cat_eq("nope", "x"))
+                .build(),
+            Err(EngineError::Store(_))
+        ));
+        // Numeric GROUP BY column.
+        assert!(matches!(
+            s.query("flights")
+                .avg(Expr::col("delay"))
+                .group_by("delay")
+                .build(),
+            Err(EngineError::InvalidGroupBy { .. })
+        ));
+        // Empty tables are caught at build time too, not at execution.
+        let mut s = s;
+        s.register(
+            "empty",
+            &Table::new(vec![Column::float("x", vec![])]).unwrap(),
+        )
+        .unwrap();
+        assert!(matches!(
+            s.query("empty").avg(Expr::col("x")).build(),
+            Err(EngineError::EmptyScramble)
+        ));
+    }
+
+    #[test]
+    fn default_name_and_overrides() {
+        let s = session();
+        let prepared = s
+            .query("flights")
+            .count()
+            .named("my-count")
+            .tune(|c| c.delta(1e-6))
+            .build()
+            .unwrap();
+        assert_eq!(prepared.query().name, "my-count");
+        assert_eq!(prepared.config().delta, 1e-6);
+        // Session defaults are untouched.
+        assert_eq!(s.defaults().delta, 1e-9);
+
+        let prepared = s.query("flights").sum(Expr::col("delay")).build().unwrap();
+        assert_eq!(prepared.query().name, "flights.sum");
+        assert_eq!(prepared.config().delta, 1e-9);
+    }
+
+    #[test]
+    fn prepare_validates_prebuilt_queries() {
+        let s = session();
+        let good = AggQuery::avg("t", Expr::col("delay"))
+            .group_by("airline")
+            .build();
+        assert!(s.prepare("flights", &good).is_ok());
+        let bad = AggQuery::avg("t", Expr::col("nope")).build();
+        assert!(s.prepare("flights", &bad).is_err());
+        assert!(matches!(
+            s.prepare("nope", &good),
+            Err(EngineError::UnknownTable { .. })
+        ));
+    }
+
+    #[test]
+    fn execute_with_makes_executors_interchangeable() {
+        let s = session();
+        let prepared = s
+            .query("flights")
+            .avg(Expr::col("delay"))
+            .group_by("airline")
+            .having_gt(5.0)
+            .build()
+            .unwrap();
+        let approx = prepared
+            .execute_with(&ApproxExecutor::new(s.defaults().clone()))
+            .unwrap();
+        let exact = prepared.execute_with(&ExactExecutor).unwrap();
+        let mut a = approx.selected_labels();
+        let mut e = exact.selected_labels();
+        a.sort();
+        e.sort();
+        assert_eq!(a, e);
+    }
+
+    #[test]
+    fn progressive_stream_through_the_builder() {
+        let s = session();
+        let p = s
+            .query("flights")
+            .avg(Expr::col("delay"))
+            .group_by("airline")
+            .absolute_width(0.0)
+            .budget(Budget::unlimited().max_rounds(2))
+            .progressive()
+            .unwrap();
+        assert_eq!(p.rounds(), 2);
+        assert!(p.cancelled());
+        assert!(!p.converged());
+        assert_eq!(p.result.groups.len(), 3);
     }
 }

@@ -309,6 +309,21 @@ impl FlightsDataset {
         })
     }
 
+    /// Registers this dataset's table in `session` under `name`, scrambling
+    /// it with the dataset's own seed (so a given [`FlightsConfig`] always
+    /// produces the same scramble, whichever session it lands in).
+    pub fn register_into(
+        &self,
+        session: &mut fastframe_engine::session::Session,
+        name: &str,
+    ) -> fastframe_engine::error::EngineResult<()> {
+        session.register_with(
+            name,
+            &self.table,
+            fastframe_engine::session::TableOptions::default().seed(self.config.seed),
+        )
+    }
+
     /// Number of rows generated.
     pub fn rows(&self) -> usize {
         self.table.num_rows()

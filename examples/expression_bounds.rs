@@ -18,7 +18,10 @@ use fastframe_workloads::flights::{columns, FlightsConfig, FlightsDataset};
 fn main() {
     let dataset = FlightsDataset::generate(FlightsConfig::default().rows(200_000))
         .expect("generation succeeds");
-    let frame = FastFrame::from_table(&dataset.table, 11).expect("scramble builds");
+    let mut session = Session::new();
+    session
+        .register_with("flights", &dataset.table, TableOptions::default().seed(11))
+        .expect("scramble builds");
 
     // Target expression: squared deviation of the delay from 10 minutes —
     // i.e. AVG((DepDelay - 10)^2), a dispersion-style aggregate.
@@ -49,13 +52,16 @@ fn main() {
         "optimizer must not be looser than interval arithmetic"
     );
 
-    // 3. Run the aggregate approximately and exactly.
-    let query = AggQuery::avg("avg-squared-deviation", target)
+    // 3. Run the aggregate approximately and exactly, through the fluent
+    //    builder (which re-derives the same range bounds from the catalog).
+    let query = session
+        .query("flights")
+        .avg(target)
+        .named("avg-squared-deviation")
         .relative_error(0.1)
-        .build();
-    let config = EngineConfig::default().round_rows(10_000);
-    let approx = frame.execute(&query, &config).expect("approximate query");
-    let exact = frame.execute_exact(&query).expect("exact query");
+        .config(EngineConfig::default().round_rows(10_000));
+    let approx = query.clone().execute().expect("approximate query");
+    let exact = query.execute_exact().expect("exact query");
 
     let ag = approx.global().expect("one group");
     let eg = exact.global().expect("one group");

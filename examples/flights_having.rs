@@ -33,10 +33,18 @@ fn main() {
     let template = f_q2(0.0);
     println!("\n{} — {}", template.id, template.description);
 
-    let frame = FastFrame::from_table(&dataset.table, 2_021).expect("scramble builds");
-    let exact = frame
-        .execute_exact(&template.query)
-        .expect("exact baseline");
+    let mut session = Session::new();
+    session
+        .register_with(
+            "flights",
+            &dataset.table,
+            TableOptions::default().seed(2_021),
+        )
+        .expect("scramble builds");
+    let prepared = session
+        .prepare("flights", &template.query)
+        .expect("query type-checks");
+    let exact = prepared.execute_exact().expect("exact baseline");
     let mut expected = exact.selected_labels();
     expected.sort();
 
@@ -54,9 +62,14 @@ fn main() {
         BounderKind::Bernstein,
         BounderKind::BernsteinRangeTrim,
     ] {
-        let config = EngineConfig::with_bounder(bounder).strategy(SamplingStrategy::ActivePeek);
-        let result = frame
-            .execute(&template.query, &config)
+        let config = EngineConfig::builder()
+            .bounder(bounder)
+            .strategy(SamplingStrategy::ActivePeek)
+            .build();
+        let result = prepared
+            .clone()
+            .with_config(config)
+            .execute()
             .expect("approximate query");
         let mut got = result.selected_labels();
         got.sort();

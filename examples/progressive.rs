@@ -1,0 +1,129 @@
+//! Progressive execution: watch the confidence intervals tighten round by
+//! round, then cancel a query with a row budget and still get a valid
+//! answer — the online-aggregation workflow OptStop's per-round guarantees
+//! (Algorithm 5) make possible.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release -p fastframe-tests --example progressive
+//! ```
+
+use fastframe_engine::prelude::*;
+use fastframe_workloads::flights::{columns, FlightsConfig, FlightsDataset};
+
+fn main() {
+    // A session over the synthetic Flights dataset, with defaults tuned for
+    // many small rounds so the progression is visible.
+    let dataset = FlightsDataset::generate(FlightsConfig::default().rows(200_000))
+        .expect("generation succeeds");
+    let mut session = Session::with_defaults(
+        EngineConfig::builder()
+            .bounder(BounderKind::BernsteinRangeTrim)
+            .strategy(SamplingStrategy::Scan)
+            .delta(1e-9)
+            .round_rows(10_000)
+            .start_block(0)
+            .build(),
+    );
+    dataset
+        .register_into(&mut session, "flights")
+        .expect("table registers");
+
+    // 1. Stream a grouped AVG: after every round the engine hands us a
+    //    snapshot with each airline's point estimate and running CI,
+    //    stopping once every airline's interval is narrower than 15 minutes.
+    println!("== avg delay by airline, round by round ==");
+    let progressive = session
+        .query("flights")
+        .avg(Expr::col(columns::DEP_DELAY))
+        .group_by(columns::AIRLINE)
+        .absolute_width(15.0)
+        .progressive()
+        .expect("query runs");
+
+    for snapshot in &progressive {
+        println!(
+            "round {:>2}  rows {:>7}  widest CI {:>7.2} min{}",
+            snapshot.round,
+            snapshot.rows_scanned,
+            snapshot.max_ci_width(),
+            if snapshot.converged {
+                "  (converged)"
+            } else {
+                ""
+            },
+        );
+    }
+    let final_snapshot = progressive.last().expect("at least one round");
+    println!(
+        "\nfinal per-airline intervals after {} rounds:",
+        progressive.rounds()
+    );
+    for g in &final_snapshot.groups {
+        println!(
+            "  {:<4} estimate {:>6.2}  CI [{:>6.2}, {:>6.2}]  ({} samples)",
+            g.key.display(),
+            g.estimate,
+            g.ci.lo,
+            g.ci.hi,
+            g.samples
+        );
+    }
+
+    // The paper's guarantee in action: each round's running interval is no
+    // wider than the previous round's (and in practice strictly tighter).
+    assert!(
+        progressive.rounds() >= 3,
+        "expected at least three rounds, got {}",
+        progressive.rounds()
+    );
+    for pair in progressive.snapshots.windows(2) {
+        assert!(
+            pair[1].max_ci_width() < pair[0].max_ci_width(),
+            "CIs must tighten every round: {:.3} -> {:.3}",
+            pair[0].max_ci_width(),
+            pair[1].max_ci_width()
+        );
+    }
+    assert!(progressive.converged());
+    println!(
+        "\nCIs tightened strictly across all {} rounds, then the query converged.",
+        progressive.rounds()
+    );
+
+    // 2. Cancellation: cap the same query at 30k rows with an impossible
+    //    stopping condition. The engine stops at the cap and returns a valid
+    //    (merely unconverged) result — not an error.
+    let capped = session
+        .query("flights")
+        .avg(Expr::col(columns::DEP_DELAY))
+        .group_by(columns::AIRLINE)
+        .absolute_width(0.0) // unattainable: only the budget can stop this
+        .budget(Budget::unlimited().max_rows(30_000))
+        .progressive()
+        .expect("budgeted query runs");
+
+    println!("\n== the same query under Budget::max_rows(30_000) ==");
+    println!(
+        "cancelled: {} | converged: {} | rows scanned: {}",
+        capped
+            .cancellation
+            .map(|c| c.to_string())
+            .unwrap_or_default(),
+        capped.converged(),
+        capped.result.metrics.scan.rows_scanned
+    );
+    assert_eq!(capped.cancellation, Some(CancellationReason::RowBudget));
+    assert!(!capped.converged());
+    assert!(capped.result.metrics.scan.rows_scanned <= 30_000);
+    for g in &capped.result.groups {
+        assert!(g.ci.lo <= g.ci.hi && !g.exact);
+    }
+    println!(
+        "every airline still has a valid interval, e.g. {} in [{:.2}, {:.2}]",
+        capped.result.groups[0].key.display(),
+        capped.result.groups[0].ci.lo,
+        capped.result.groups[0].ci.hi
+    );
+}

@@ -1,5 +1,5 @@
-//! Quickstart: build a table, scramble it, and run an approximate AVG query
-//! with a sample-size-independent confidence interval.
+//! Quickstart: register a table in a session, run an approximate AVG query
+//! through the fluent builder, and compare against the exact baseline.
 //!
 //! Run with:
 //!
@@ -41,22 +41,33 @@ fn main() {
     ])
     .expect("columns have equal length");
 
-    // 2. Build the FastFrame instance. This creates the *scramble* (a
+    // 2. Register the table in a session. This creates the *scramble* (a
     //    randomly permuted copy laid out in 25-row blocks), the catalog with
     //    range bounds for `amount`, and block bitmap indexes over `region`.
-    let frame = FastFrame::from_table(&table, 42).expect("table is well-formed");
+    //    The session holds any number of tables plus shared config defaults.
+    let mut session = Session::with_defaults(
+        EngineConfig::builder()
+            .bounder(BounderKind::BernsteinRangeTrim)
+            .delta(1e-12)
+            .build(),
+    );
+    session
+        .register_with("orders", &table, TableOptions::default().seed(42))
+        .expect("table is well-formed");
 
     // 3. Ask for the average order amount per region, stopping as soon as
     //    every region's estimate is within 10% relative error — with an error
-    //    probability of 1e-12 (effectively deterministic).
-    let query = AggQuery::avg("avg-amount-by-region", Expr::col("amount"))
+    //    probability of 1e-12 (effectively deterministic). The builder
+    //    type-checks every clause against the catalog before running.
+    let query = session
+        .query("orders")
+        .avg(Expr::col("amount"))
+        .named("avg-amount-by-region")
         .group_by("region")
-        .relative_error(0.10)
-        .build();
-    let config = EngineConfig::with_bounder(BounderKind::BernsteinRangeTrim).delta(1e-12);
+        .relative_error(0.10);
 
-    let approx = frame.execute(&query, &config).expect("query executes");
-    let exact = frame.execute_exact(&query).expect("baseline executes");
+    let approx = query.clone().execute().expect("query executes");
+    let exact = query.execute_exact().expect("baseline executes");
 
     println!("== Approximate result (Bernstein+RangeTrim) ==");
     for g in &approx.groups {

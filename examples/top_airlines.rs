@@ -21,14 +21,18 @@ fn main() {
 
     let dataset =
         FlightsDataset::generate(FlightsConfig::default().rows(rows)).expect("generation succeeds");
-    let frame = FastFrame::from_table(&dataset.table, 7).expect("scramble builds");
+    let mut session = Session::new();
+    session
+        .register_with("flights", &dataset.table, TableOptions::default().seed(7))
+        .expect("scramble builds");
 
     let template = f_q9();
     println!("{} — {}", template.id, template.description);
 
-    let exact = frame
-        .execute_exact(&template.query)
-        .expect("exact baseline");
+    let prepared = session
+        .prepare("flights", &template.query)
+        .expect("query type-checks");
+    let exact = prepared.execute_exact().expect("exact baseline");
     println!(
         "exact answer: {:?} (mean delay {:.2} min), {} blocks scanned\n",
         exact.selected_labels(),
@@ -46,10 +50,16 @@ fn main() {
             SamplingStrategy::ActiveSync,
             SamplingStrategy::ActivePeek,
         ] {
-            let config = EngineConfig::with_bounder(bounder)
+            let config = EngineConfig::builder()
+                .bounder(bounder)
                 .strategy(strategy)
-                .round_rows(10_000);
-            let result = frame.execute(&template.query, &config).expect("query runs");
+                .round_rows(10_000)
+                .build();
+            let result = prepared
+                .clone()
+                .with_config(config)
+                .execute()
+                .expect("query runs");
             println!(
                 "{:<16} {:<12} {:>10} {:>12.2} {:>10}",
                 bounder.label(),
@@ -68,7 +78,11 @@ fn main() {
 
     // Show the per-airline intervals from the recommended configuration.
     let config = EngineConfig::default().round_rows(10_000);
-    let result = frame.execute(&template.query, &config).expect("query runs");
+    let result = prepared
+        .clone()
+        .with_config(config)
+        .execute()
+        .expect("query runs");
     println!("\nper-airline intervals (Bernstein+RT, ActivePeek):");
     let mut groups: Vec<_> = result.groups.iter().collect();
     groups.sort_by(|a, b| {

@@ -1,40 +1,48 @@
 //! Integration tests for COUNT and SUM aggregates end-to-end through the
 //! engine (§4.1): unknown-selectivity handling via N⁺, count intervals, and
-//! the composed SUM intervals.
+//! the composed SUM intervals — phrased through the fluent session API.
 
 use fastframe_core::bounder::BounderKind;
 use fastframe_engine::config::{EngineConfig, SamplingStrategy};
-use fastframe_engine::query::AggQuery;
-use fastframe_engine::session::FastFrame;
+use fastframe_engine::session::Session;
 use fastframe_store::expr::Expr;
 use fastframe_store::predicate::Predicate;
 use fastframe_workloads::flights::{columns, FlightsConfig, FlightsDataset};
 
-fn frame() -> (FlightsDataset, FastFrame) {
+fn session() -> Session {
     let dataset = FlightsDataset::generate(FlightsConfig::small().rows(100_000).airports(40))
         .expect("dataset generates");
-    let frame = FastFrame::from_table(&dataset.table, 55).expect("scramble builds");
-    (dataset, frame)
-}
-
-fn config() -> EngineConfig {
-    EngineConfig::with_bounder(BounderKind::BernsteinRangeTrim)
-        .strategy(SamplingStrategy::Scan)
-        .delta(1e-12)
-        .round_rows(10_000)
-        .seed(9)
+    let mut session = Session::with_defaults(
+        EngineConfig::builder()
+            .bounder(BounderKind::BernsteinRangeTrim)
+            .strategy(SamplingStrategy::Scan)
+            .delta(1e-12)
+            .round_rows(10_000)
+            .seed(9)
+            .build(),
+    );
+    session
+        .register_with(
+            "flights",
+            &dataset.table,
+            fastframe_engine::session::TableOptions::default().seed(55),
+        )
+        .expect("table registers");
+    session
 }
 
 #[test]
 fn count_of_filtered_rows_brackets_the_exact_count() {
-    let (_dataset, frame) = frame();
+    let session = session();
     for airline in ["NW", "HP", "UA"] {
-        let query = AggQuery::count(format!("count-{airline}"))
+        let query = session
+            .query("flights")
+            .count()
+            .named(format!("count-{airline}"))
             .filter(Predicate::cat_eq(columns::AIRLINE, airline))
-            .relative_error(0.05)
-            .build();
-        let approx = frame.execute(&query, &config()).unwrap();
-        let exact = frame.execute_exact(&query).unwrap();
+            .relative_error(0.05);
+        let approx = query.clone().execute().unwrap();
+        let exact = query.execute_exact().unwrap();
         let truth = exact.global().unwrap().estimate.unwrap();
         let g = approx.global().unwrap();
         assert!(
@@ -49,13 +57,15 @@ fn count_of_filtered_rows_brackets_the_exact_count() {
 
 #[test]
 fn grouped_count_intervals_bracket_every_group() {
-    let (_dataset, frame) = frame();
-    let query = AggQuery::count("count-by-airline")
+    let session = session();
+    let query = session
+        .query("flights")
+        .count()
+        .named("count-by-airline")
         .group_by(columns::AIRLINE)
-        .relative_error(0.1)
-        .build();
-    let approx = frame.execute(&query, &config()).unwrap();
-    let exact = frame.execute_exact(&query).unwrap();
+        .relative_error(0.1);
+    let approx = query.clone().execute().unwrap();
+    let exact = query.execute_exact().unwrap();
     assert_eq!(approx.groups.len(), exact.groups.len());
     for eg in &exact.groups {
         let ag = approx.groups.iter().find(|g| g.key == eg.key).unwrap();
@@ -71,13 +81,15 @@ fn grouped_count_intervals_bracket_every_group() {
 
 #[test]
 fn sum_of_delays_brackets_the_exact_sum() {
-    let (_dataset, frame) = frame();
-    let query = AggQuery::sum("sum-delay-hp", Expr::col(columns::DEP_DELAY))
+    let session = session();
+    let query = session
+        .query("flights")
+        .sum(Expr::col(columns::DEP_DELAY))
+        .named("sum-delay-hp")
         .filter(Predicate::cat_eq(columns::AIRLINE, "HP"))
-        .relative_error(0.2)
-        .build();
-    let approx = frame.execute(&query, &config()).unwrap();
-    let exact = frame.execute_exact(&query).unwrap();
+        .relative_error(0.2);
+    let approx = query.clone().execute().unwrap();
+    let exact = query.execute_exact().unwrap();
     let truth = exact.global().unwrap().estimate.unwrap();
     let g = approx.global().unwrap();
     // Allow for floating-point summation-order differences between the
@@ -93,24 +105,29 @@ fn sum_of_delays_brackets_the_exact_sum() {
 
 #[test]
 fn grouped_sum_selects_the_same_top_group_as_exact() {
-    let (_dataset, frame) = frame();
+    let session = session();
     // Which airline accounts for the largest total delay?
-    let query = AggQuery::sum("total-delay-by-airline", Expr::col(columns::DEP_DELAY))
+    let query = session
+        .query("flights")
+        .sum(Expr::col(columns::DEP_DELAY))
+        .named("total-delay-by-airline")
         .group_by(columns::AIRLINE)
-        .order_desc_limit(1)
-        .build();
-    let approx = frame.execute(&query, &config()).unwrap();
-    let exact = frame.execute_exact(&query).unwrap();
+        .order_desc_limit(1);
+    let approx = query.clone().execute().unwrap();
+    let exact = query.execute_exact().unwrap();
     assert_eq!(approx.selected_labels(), exact.selected_labels());
 }
 
 #[test]
 fn count_star_without_filter_is_exactly_the_table_size_after_a_full_pass() {
-    let (_dataset, frame) = frame();
-    let query = AggQuery::count("count-all")
-        .stop_when(fastframe_core::stopping::StoppingCondition::AbsoluteWidth { epsilon: 0.0 })
-        .build();
-    let result = frame.execute(&query, &config()).unwrap();
+    let session = session();
+    let result = session
+        .query("flights")
+        .count()
+        .named("count-all")
+        .absolute_width(0.0)
+        .execute()
+        .unwrap();
     assert!(!result.converged);
     let g = result.global().unwrap();
     assert_eq!(g.estimate, Some(100_000.0));

@@ -6,53 +6,83 @@
 use fastframe_core::bounder::BounderKind;
 use fastframe_engine::config::{EngineConfig, SamplingStrategy};
 use fastframe_engine::query::AggQuery;
-use fastframe_engine::session::FastFrame;
+use fastframe_engine::session::Session;
 use fastframe_workloads::flights::{FlightsConfig, FlightsDataset};
 use fastframe_workloads::queries::{all_default_queries, f_q1, f_q2, f_q3};
 
-fn small_frame() -> (FlightsDataset, FastFrame) {
+const TABLE: &str = "flights";
+
+fn small_session() -> Session {
     let dataset = FlightsDataset::generate(FlightsConfig::small().rows(120_000).airports(40))
         .expect("dataset generates");
-    let frame = FastFrame::from_table(&dataset.table, 99).expect("scramble builds");
-    (dataset, frame)
+    let mut session = Session::new();
+    session
+        .register_with(
+            TABLE,
+            &dataset.table,
+            fastframe_engine::session::TableOptions::default().seed(99),
+        )
+        .expect("table registers");
+    session
 }
 
 fn config(bounder: BounderKind) -> EngineConfig {
-    EngineConfig::with_bounder(bounder)
+    EngineConfig::builder()
+        .bounder(bounder)
         .strategy(SamplingStrategy::ActivePeek)
         .delta(1e-12)
         .round_rows(10_000)
         .seed(5)
+        .build()
 }
 
-fn sorted_selection(frame: &FastFrame, query: &AggQuery, bounder: BounderKind) -> Vec<String> {
-    let result = frame.execute(query, &config(bounder)).expect("query runs");
-    let mut labels = result.selected_labels();
+fn execute(
+    session: &Session,
+    query: &AggQuery,
+    bounder: BounderKind,
+) -> fastframe_engine::QueryResult {
+    session
+        .prepare(TABLE, query)
+        .expect("query prepares")
+        .with_config(config(bounder))
+        .execute()
+        .expect("query runs")
+}
+
+fn sorted_selection(session: &Session, query: &AggQuery, bounder: BounderKind) -> Vec<String> {
+    let mut labels = execute(session, query, bounder).selected_labels();
+    labels.sort();
+    labels
+}
+
+fn sorted_exact_selection(session: &Session, query: &AggQuery) -> Vec<String> {
+    let exact = session
+        .prepare(TABLE, query)
+        .expect("query prepares")
+        .execute_exact()
+        .expect("exact runs");
+    let mut labels = exact.selected_labels();
     labels.sort();
     labels
 }
 
 #[test]
 fn full_query_suite_matches_exact_selections_with_bernstein_rt() {
-    let (_dataset, frame) = small_frame();
+    let session = small_session();
     for template in all_default_queries() {
-        let exact = frame.execute_exact(&template.query).expect("exact runs");
-        let mut expected = exact.selected_labels();
-        expected.sort();
-        let got = sorted_selection(&frame, &template.query, BounderKind::BernsteinRangeTrim);
+        let expected = sorted_exact_selection(&session, &template.query);
+        let got = sorted_selection(&session, &template.query, BounderKind::BernsteinRangeTrim);
         assert_eq!(got, expected, "selection mismatch for {}", template.id);
     }
 }
 
 #[test]
 fn every_bounder_agrees_with_exact_on_the_having_queries() {
-    let (_dataset, frame) = small_frame();
+    let session = small_session();
     for template in [f_q2(0.0), f_q2(8.0)] {
-        let exact = frame.execute_exact(&template.query).expect("exact runs");
-        let mut expected = exact.selected_labels();
-        expected.sort();
+        let expected = sorted_exact_selection(&session, &template.query);
         for bounder in BounderKind::EVALUATED {
-            let got = sorted_selection(&frame, &template.query, bounder);
+            let got = sorted_selection(&session, &template.query, bounder);
             assert_eq!(
                 got, expected,
                 "selection mismatch for {} with {}",
@@ -64,13 +94,15 @@ fn every_bounder_agrees_with_exact_on_the_having_queries() {
 
 #[test]
 fn approximate_estimates_lie_inside_their_intervals_and_cover_exact_values() {
-    let (_dataset, frame) = small_frame();
+    let session = small_session();
     let template = f_q2(f64::NEG_INFINITY); // all airlines, grouped AVG
-    let exact = frame.execute_exact(&template.query).expect("exact runs");
+    let exact = session
+        .prepare(TABLE, &template.query)
+        .expect("query prepares")
+        .execute_exact()
+        .expect("exact runs");
     for bounder in BounderKind::EVALUATED {
-        let approx = frame
-            .execute(&template.query, &config(bounder))
-            .expect("approx runs");
+        let approx = execute(&session, &template.query, bounder);
         for eg in &exact.groups {
             let ag = approx
                 .groups
@@ -92,16 +124,12 @@ fn approximate_estimates_lie_inside_their_intervals_and_cover_exact_values() {
 
 #[test]
 fn blocks_fetched_ordering_bernstein_no_worse_than_hoeffding() {
-    let (_dataset, frame) = small_frame();
+    let session = small_session();
     // F-q1 on the most popular airport: a dense, easy query where both
     // bounders converge before the full pass and the ordering is meaningful.
     let template = f_q1("ORD", 0.5);
-    let hoef = frame
-        .execute(&template.query, &config(BounderKind::Hoeffding))
-        .expect("hoeffding runs");
-    let bern = frame
-        .execute(&template.query, &config(BounderKind::BernsteinRangeTrim))
-        .expect("bernstein runs");
+    let hoef = execute(&session, &template.query, BounderKind::Hoeffding);
+    let bern = execute(&session, &template.query, BounderKind::BernsteinRangeTrim);
     assert!(
         bern.metrics.blocks_fetched() <= hoef.metrics.blocks_fetched(),
         "Bernstein+RT fetched {} blocks, Hoeffding fetched {}",
@@ -112,13 +140,15 @@ fn blocks_fetched_ordering_bernstein_no_worse_than_hoeffding() {
 
 #[test]
 fn approximate_never_fetches_more_blocks_than_exact() {
-    let (_dataset, frame) = small_frame();
+    let session = small_session();
     for template in [f_q1("ORD", 0.5), f_q2(0.0), f_q3(1_200)] {
-        let exact = frame.execute_exact(&template.query).expect("exact runs");
+        let exact = session
+            .prepare(TABLE, &template.query)
+            .expect("query prepares")
+            .execute_exact()
+            .expect("exact runs");
         for bounder in BounderKind::EVALUATED {
-            let approx = frame
-                .execute(&template.query, &config(bounder))
-                .expect("approx runs");
+            let approx = execute(&session, &template.query, bounder);
             assert!(
                 approx.metrics.blocks_fetched() <= exact.metrics.blocks_fetched(),
                 "{} fetched more blocks than the exact scan for {}",
@@ -131,14 +161,10 @@ fn approximate_never_fetches_more_blocks_than_exact() {
 
 #[test]
 fn results_are_reproducible_for_a_fixed_seed() {
-    let (_dataset, frame) = small_frame();
+    let session = small_session();
     let template = f_q2(6.0);
-    let a = frame
-        .execute(&template.query, &config(BounderKind::BernsteinRangeTrim))
-        .expect("first run");
-    let b = frame
-        .execute(&template.query, &config(BounderKind::BernsteinRangeTrim))
-        .expect("second run");
+    let a = execute(&session, &template.query, BounderKind::BernsteinRangeTrim);
+    let b = execute(&session, &template.query, BounderKind::BernsteinRangeTrim);
     assert_eq!(a.selected_labels(), b.selected_labels());
     assert_eq!(a.metrics.blocks_fetched(), b.metrics.blocks_fetched());
     assert_eq!(a.metrics.rounds, b.metrics.rounds);

@@ -1,0 +1,107 @@
+//! Regression test for the deprecated [`FastFrame`] shim: the old
+//! single-table entry point must keep working for one release and produce
+//! *identical* results to the new [`Session`] path it delegates to.
+
+#![allow(deprecated)]
+
+use fastframe_core::bounder::BounderKind;
+use fastframe_engine::config::{EngineConfig, SamplingStrategy};
+use fastframe_engine::frame::FastFrame;
+use fastframe_engine::session::{Session, TableOptions};
+use fastframe_workloads::flights::{columns, FlightsConfig, FlightsDataset};
+use fastframe_workloads::queries::{f_q1, f_q2, f_q9};
+
+const SEED: u64 = 41;
+
+fn dataset() -> FlightsDataset {
+    FlightsDataset::generate(FlightsConfig::small().rows(60_000).airports(20))
+        .expect("dataset generates")
+}
+
+fn config() -> EngineConfig {
+    EngineConfig::builder()
+        .bounder(BounderKind::BernsteinRangeTrim)
+        .strategy(SamplingStrategy::Scan)
+        .delta(1e-12)
+        .round_rows(5_000)
+        .start_block(0)
+        .build()
+}
+
+#[test]
+fn old_and_new_paths_produce_identical_results() {
+    let dataset = dataset();
+    let frame = FastFrame::from_table(&dataset.table, SEED).expect("frame builds");
+    let mut session = Session::new();
+    session
+        .register_with(
+            "flights",
+            &dataset.table,
+            TableOptions::default().seed(SEED),
+        )
+        .expect("table registers");
+
+    for template in [f_q1("ORD", 0.5), f_q2(0.0), f_q9()] {
+        let old = frame
+            .execute(&template.query, &config())
+            .expect("old path runs");
+        let new = session
+            .prepare("flights", &template.query)
+            .expect("query prepares")
+            .with_config(config())
+            .execute()
+            .expect("new path runs");
+        assert_eq!(
+            old.selected_labels(),
+            new.selected_labels(),
+            "selection mismatch for {}",
+            template.id
+        );
+        assert_eq!(old.converged, new.converged);
+        assert_eq!(
+            old.metrics.blocks_fetched(),
+            new.metrics.blocks_fetched(),
+            "block counts diverged for {}",
+            template.id
+        );
+        assert_eq!(old.groups.len(), new.groups.len());
+        for (og, ng) in old.groups.iter().zip(&new.groups) {
+            assert_eq!(og.key, ng.key);
+            assert_eq!(og.estimate, ng.estimate);
+            assert_eq!(og.ci, ng.ci);
+            assert_eq!(og.samples, ng.samples);
+        }
+    }
+}
+
+#[test]
+fn old_and_new_exact_baselines_agree() {
+    let dataset = dataset();
+    let frame = FastFrame::from_table_with(&dataset.table, SEED, 25, 0.0).expect("frame builds");
+    let mut session = Session::new();
+    session
+        .register_with(
+            "flights",
+            &dataset.table,
+            TableOptions::default()
+                .seed(SEED)
+                .block_size(25)
+                .range_slack(0.0),
+        )
+        .expect("table registers");
+
+    let template = f_q2(0.0);
+    let old = frame.execute_exact(&template.query).expect("old exact");
+    let new = session
+        .query("flights")
+        .avg(fastframe_store::expr::Expr::col(columns::DEP_DELAY))
+        .group_by(columns::AIRLINE)
+        .having_gt(0.0)
+        .execute_exact()
+        .expect("new exact");
+    assert_eq!(old.selected_labels(), new.selected_labels());
+    for (og, ng) in old.groups.iter().zip(&new.groups) {
+        assert_eq!(og.estimate, ng.estimate);
+        assert_eq!(og.samples, ng.samples);
+    }
+}

@@ -1,0 +1,202 @@
+//! Progressive-semantics tests: per-round snapshots must carry running
+//! intervals that never widen, and a [`Budget`] cancellation must stop the
+//! scan without exceeding its caps while still producing a valid
+//! (unconverged) result.
+//!
+//! The core invariants are property-tested (vendored proptest) over random
+//! dataset sizes, round sizes and budget caps.
+
+use proptest::prelude::*;
+
+use fastframe_core::bounder::BounderKind;
+use fastframe_engine::config::{EngineConfig, SamplingStrategy};
+use fastframe_engine::progressive::{Budget, CancellationReason, RoundControl};
+use fastframe_engine::session::{Session, TableOptions};
+use fastframe_store::column::Column;
+use fastframe_store::expr::Expr;
+use fastframe_store::table::Table;
+
+/// A session over a synthetic three-group table of `n` rows, with
+/// deterministic per-query defaults.
+fn session(n: usize, round_rows: u64, seed: u64) -> Session {
+    let mut values = Vec::with_capacity(n);
+    let mut groups = Vec::with_capacity(n);
+    for i in 0..n {
+        let (g, base) = match i % 3 {
+            0 => ("low", 10.0),
+            1 => ("mid", 30.0),
+            _ => ("high", 60.0),
+        };
+        let noise = ((i * 2_654_435_761) % 2000) as f64 / 100.0 - 10.0; // ±10
+        values.push((base + noise).clamp(0.0, 200.0));
+        groups.push(g.to_string());
+    }
+    let table = Table::new(vec![
+        Column::float("value", values),
+        Column::categorical("grp", &groups),
+    ])
+    .unwrap();
+    let mut session = Session::with_defaults(
+        EngineConfig::builder()
+            .bounder(BounderKind::BernsteinRangeTrim)
+            .strategy(SamplingStrategy::Scan)
+            .delta(1e-9)
+            .round_rows(round_rows)
+            .start_block(0)
+            .build(),
+    );
+    session
+        .register_with("t", &table, TableOptions::default().seed(seed))
+        .unwrap();
+    session
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Successive snapshot CIs are monotonically non-widening per group —
+    /// the RunningInterval fold of Algorithm 5 — for any dataset size, round
+    /// size and scramble seed.
+    #[test]
+    fn snapshot_cis_are_monotonically_non_widening_per_group(
+        n in 3_000usize..9_000,
+        round_rows in 300u64..1_500,
+        seed in 0u64..1_000,
+    ) {
+        let session = session(n, round_rows, seed);
+        // Impossible stopping condition: the scan completes a full pass, so
+        // every round's snapshot is exercised.
+        let p = session
+            .query("t")
+            .avg(Expr::col("value"))
+            .group_by("grp")
+            .absolute_width(0.0)
+            .progressive()
+            .unwrap();
+        prop_assert!(p.rounds() >= 2, "expected at least two rounds");
+        prop_assert!(!p.converged());
+        for pair in p.snapshots.windows(2) {
+            for (a, b) in pair[0].groups.iter().zip(&pair[1].groups) {
+                prop_assert_eq!(&a.key, &b.key);
+                prop_assert!(
+                    b.ci.width() <= a.ci.width() + 1e-12,
+                    "running CI widened between rounds: {} -> {}",
+                    a.ci.width(),
+                    b.ci.width()
+                );
+                prop_assert!(b.samples >= a.samples);
+                prop_assert!(b.ci.lo <= b.estimate && b.estimate <= b.ci.hi);
+            }
+        }
+    }
+
+    /// A `Budget::max_rows` cancellation never reads past the row cap — in
+    /// any snapshot or in the final metrics — and still yields a valid
+    /// (unconverged) result for every group.
+    #[test]
+    fn row_budget_cancellation_never_exceeds_the_cap(
+        n in 3_000usize..9_000,
+        round_rows in 300u64..1_500,
+        cap_frac in 0.05f64..0.85,
+        seed in 0u64..1_000,
+    ) {
+        let session = session(n, round_rows, seed);
+        let cap = ((n as f64 * cap_frac) as u64).max(1);
+        let p = session
+            .query("t")
+            .avg(Expr::col("value"))
+            .group_by("grp")
+            .absolute_width(0.0)
+            .budget(Budget::unlimited().max_rows(cap))
+            .progressive()
+            .unwrap();
+        prop_assert_eq!(p.cancellation, Some(CancellationReason::RowBudget));
+        prop_assert!(!p.converged());
+        prop_assert!(
+            p.result.metrics.scan.rows_scanned <= cap,
+            "scanned {} rows past the cap {}",
+            p.result.metrics.scan.rows_scanned,
+            cap
+        );
+        for snap in &p.snapshots {
+            prop_assert!(snap.rows_scanned <= cap);
+        }
+        // The cancelled result is a complete, valid approximation.
+        prop_assert_eq!(p.result.groups.len(), 3);
+        for g in &p.result.groups {
+            prop_assert!(!g.exact);
+            prop_assert!(g.ci.lo <= g.ci.hi);
+        }
+    }
+}
+
+#[test]
+fn round_budget_limits_the_number_of_snapshots() {
+    let session = session(6_000, 500, 7);
+    let p = session
+        .query("t")
+        .avg(Expr::col("value"))
+        .group_by("grp")
+        .absolute_width(0.0)
+        .budget(Budget::unlimited().max_rounds(3))
+        .progressive()
+        .unwrap();
+    assert_eq!(p.cancellation, Some(CancellationReason::RoundBudget));
+    assert_eq!(p.rounds(), 3);
+}
+
+#[test]
+fn deadline_budget_cancels_with_a_valid_result() {
+    let session = session(6_000, 500, 7);
+    let p = session
+        .query("t")
+        .avg(Expr::col("value"))
+        .group_by("grp")
+        .absolute_width(0.0)
+        .budget(Budget::unlimited().deadline(std::time::Duration::ZERO))
+        .progressive()
+        .unwrap();
+    assert_eq!(p.cancellation, Some(CancellationReason::Deadline));
+    assert!(!p.converged());
+    assert_eq!(p.result.groups.len(), 3);
+}
+
+#[test]
+fn streaming_observer_can_stop_the_scan() {
+    let session = session(6_000, 500, 7);
+    let mut widths = Vec::new();
+    let p = session
+        .query("t")
+        .avg(Expr::col("value"))
+        .group_by("grp")
+        .absolute_width(0.0)
+        .stream(|snapshot| {
+            widths.push(snapshot.max_ci_width());
+            if snapshot.round >= 2 {
+                RoundControl::Stop
+            } else {
+                RoundControl::Continue
+            }
+        })
+        .unwrap();
+    assert_eq!(p.cancellation, Some(CancellationReason::Caller));
+    assert_eq!(p.rounds(), 2);
+    assert_eq!(widths.len(), 2);
+    assert!(widths[1] <= widths[0]);
+}
+
+#[test]
+fn converged_progressive_run_reports_no_cancellation() {
+    let session = session(6_000, 500, 7);
+    let p = session
+        .query("t")
+        .avg(Expr::col("value"))
+        .group_by("grp")
+        .absolute_width(30.0)
+        .budget(Budget::unlimited().max_rows(1_000_000))
+        .progressive()
+        .unwrap();
+    assert!(p.converged());
+    assert!(p.cancellation.is_none());
+    assert!(p.last().unwrap().converged);
+}

@@ -4,35 +4,59 @@
 
 use fastframe_core::bounder::BounderKind;
 use fastframe_engine::config::{EngineConfig, SamplingStrategy};
-use fastframe_engine::session::FastFrame;
+use fastframe_engine::query::AggQuery;
+use fastframe_engine::session::{Session, TableOptions};
 use fastframe_workloads::flights::{FlightsConfig, FlightsDataset};
 use fastframe_workloads::queries::{f_q2, f_q5, f_q8, f_q9};
 
-fn frame() -> FastFrame {
+const TABLE: &str = "flights";
+
+fn session() -> Session {
     let dataset = FlightsDataset::generate(FlightsConfig::small().rows(150_000).airports(60))
         .expect("dataset generates");
-    FastFrame::from_table(&dataset.table, 31).expect("scramble builds")
+    let mut session = Session::new();
+    session
+        .register_with(TABLE, &dataset.table, TableOptions::default().seed(31))
+        .expect("table registers");
+    session
 }
 
 fn config(strategy: SamplingStrategy) -> EngineConfig {
-    EngineConfig::with_bounder(BounderKind::BernsteinRangeTrim)
+    EngineConfig::builder()
+        .bounder(BounderKind::BernsteinRangeTrim)
         .strategy(strategy)
         .delta(1e-12)
         .round_rows(10_000)
         .seed(17)
+        .build()
+}
+
+fn run(
+    session: &Session,
+    query: &AggQuery,
+    strategy: SamplingStrategy,
+) -> fastframe_engine::QueryResult {
+    session
+        .prepare(TABLE, query)
+        .expect("query prepares")
+        .with_config(config(strategy))
+        .execute()
+        .expect("query runs")
 }
 
 #[test]
 fn all_strategies_return_the_same_selection_as_exact() {
-    let frame = frame();
+    let session = session();
     for template in [f_q2(0.0), f_q5(), f_q9()] {
-        let exact = frame.execute_exact(&template.query).expect("exact runs");
+        let exact = session
+            .prepare(TABLE, &template.query)
+            .expect("query prepares")
+            .execute_exact()
+            .expect("exact runs");
         let mut expected = exact.selected_labels();
         expected.sort();
         for strategy in SamplingStrategy::ALL {
-            let result = frame
-                .execute(&template.query, &config(strategy))
-                .expect("query runs");
+            let result = run(&session, &template.query, strategy);
             let mut got = result.selected_labels();
             got.sort();
             assert_eq!(
@@ -46,15 +70,11 @@ fn all_strategies_return_the_same_selection_as_exact() {
 
 #[test]
 fn active_strategies_fetch_no_more_blocks_than_scan_on_grouped_queries() {
-    let frame = frame();
+    let session = session();
     for template in [f_q5(), f_q8()] {
-        let scan = frame
-            .execute(&template.query, &config(SamplingStrategy::Scan))
-            .expect("scan runs");
+        let scan = run(&session, &template.query, SamplingStrategy::Scan);
         for strategy in [SamplingStrategy::ActiveSync, SamplingStrategy::ActivePeek] {
-            let active = frame
-                .execute(&template.query, &config(strategy))
-                .expect("active runs");
+            let active = run(&session, &template.query, strategy);
             assert!(
                 active.metrics.blocks_fetched() <= scan.metrics.blocks_fetched(),
                 "{strategy} fetched {} blocks but Scan fetched {} for {}",
@@ -72,14 +92,10 @@ fn active_sync_and_active_peek_fetch_identical_block_counts_per_round_structure(
     // batch ahead; because the active set can be one round staler, it may
     // fetch slightly *more* blocks, but never fewer, and the answers always
     // agree.
-    let frame = frame();
+    let session = session();
     let template = f_q5();
-    let sync = frame
-        .execute(&template.query, &config(SamplingStrategy::ActiveSync))
-        .expect("sync runs");
-    let peek = frame
-        .execute(&template.query, &config(SamplingStrategy::ActivePeek))
-        .expect("peek runs");
+    let sync = run(&session, &template.query, SamplingStrategy::ActiveSync);
+    let peek = run(&session, &template.query, SamplingStrategy::ActivePeek);
     assert_eq!(sync.selected_labels(), peek.selected_labels());
     assert!(
         peek.metrics.blocks_fetched() >= sync.metrics.blocks_fetched(),
@@ -98,7 +114,6 @@ fn active_scanning_skips_blocks_once_groups_become_inactive() {
     // decided. Once the dense groups go inactive, most blocks contain no
     // rows of the remaining active group and can be skipped via the bitmap
     // index.
-    use fastframe_engine::query::AggQuery;
     use fastframe_store::column::Column;
     use fastframe_store::expr::Expr;
     use fastframe_store::table::Table;
@@ -123,28 +138,31 @@ fn active_scanning_skips_blocks_once_groups_become_inactive() {
         Column::categorical("grp", &groups),
     ])
     .unwrap();
-    let frame = FastFrame::from_table(&table, 5).unwrap();
+    let mut session = Session::with_defaults(config(SamplingStrategy::ActiveSync));
+    session
+        .register_with("skewed", &table, TableOptions::default().seed(5))
+        .unwrap();
 
-    let query = AggQuery::avg("skipping", Expr::col("value"))
+    let query = session
+        .query("skewed")
+        .avg(Expr::col("value"))
+        .named("skipping")
         .group_by("grp")
-        .having_gt(20.0)
-        .build();
-    let result = frame
-        .execute(&query, &config(SamplingStrategy::ActiveSync))
-        .expect("query runs");
+        .having_gt(20.0);
+    let result = query.clone().execute().expect("query runs");
     assert!(
         result.metrics.scan.blocks_skipped > 0,
         "expected at least some blocks to be skipped via the bitmap index"
     );
     assert!(result.metrics.scan.index_checks > 0);
     // The dense groups were still answered correctly.
-    let exact = frame.execute_exact(&query).unwrap();
+    let exact = query.execute_exact().unwrap();
     assert_eq!(result.selected_labels(), exact.selected_labels());
 }
 
 #[test]
 fn predicate_bitmap_skipping_applies_even_to_plain_scan() {
-    let frame = frame();
+    let session = session();
     // A filter on a rare airport: most blocks contain no matching rows, and
     // even the Scan strategy can skip them via the predicate bitmap.
     let dataset = FlightsDataset::generate(FlightsConfig::small().rows(150_000).airports(60))
@@ -155,10 +173,12 @@ fn predicate_bitmap_skipping_applies_even_to_plain_scan() {
         .expect("airports exist")
         .clone();
     let template = fastframe_workloads::queries::f_q1(&rare_airport, 0.5);
-    let result = frame
-        .execute(&template.query, &config(SamplingStrategy::Scan))
-        .expect("query runs");
-    let exact = frame.execute_exact(&template.query).expect("exact runs");
+    let result = run(&session, &template.query, SamplingStrategy::Scan);
+    let exact = session
+        .prepare(TABLE, &template.query)
+        .expect("query prepares")
+        .execute_exact()
+        .expect("exact runs");
     assert!(
         result.metrics.blocks_fetched() < exact.metrics.blocks_fetched(),
         "predicate-level block skipping should reduce fetched blocks for a rare airport"

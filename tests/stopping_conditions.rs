@@ -1,19 +1,19 @@
 //! Integration tests for the stopping conditions Ê–Ï (§4.2) at the query
 //! level: each condition terminates when (and only when) its semantic goal is
-//! actually achieved.
+//! actually achieved. Queries are phrased through the fluent session API,
+//! whose stopping-condition helpers mirror the paper's condition names.
 
 use fastframe_core::bounder::BounderKind;
 use fastframe_core::stopping::StoppingCondition;
 use fastframe_engine::config::{EngineConfig, SamplingStrategy};
-use fastframe_engine::query::AggQuery;
-use fastframe_engine::session::FastFrame;
+use fastframe_engine::session::{QueryBuilder, Session, TableOptions};
 use fastframe_store::column::Column;
 use fastframe_store::expr::Expr;
 use fastframe_store::table::Table;
 
 /// Three groups with well-separated means (10, 30, 60) inside a [0, 200]
-/// range, 60k rows.
-fn frame() -> FastFrame {
+/// range, 60k rows, registered in a session whose defaults pin the scan.
+fn session() -> Session {
     let n = 60_000usize;
     let mut values = Vec::with_capacity(n);
     let mut groups = Vec::with_capacity(n);
@@ -32,25 +32,36 @@ fn frame() -> FastFrame {
         Column::categorical("grp", &groups),
     ])
     .unwrap();
-    FastFrame::from_table(&table, 77).unwrap()
+    let mut session = Session::with_defaults(
+        EngineConfig::builder()
+            .bounder(BounderKind::BernsteinRangeTrim)
+            .strategy(SamplingStrategy::Scan)
+            .delta(1e-9)
+            .round_rows(5_000)
+            .start_block(0)
+            .build(),
+    );
+    session
+        .register_with("vals", &table, TableOptions::default().seed(77))
+        .unwrap();
+    session
 }
 
-fn config() -> EngineConfig {
-    EngineConfig::with_bounder(BounderKind::BernsteinRangeTrim)
-        .strategy(SamplingStrategy::Scan)
-        .delta(1e-9)
-        .round_rows(5_000)
-        .start_block(0)
+fn grouped_avg(session: &Session) -> QueryBuilder<'_> {
+    session
+        .query("vals")
+        .avg(Expr::col("value"))
+        .group_by("grp")
 }
 
 #[test]
 fn sample_count_condition_stops_after_requested_samples() {
-    let frame = frame();
-    let query = AggQuery::avg("ê", Expr::col("value"))
-        .group_by("grp")
+    let session = session();
+    let result = grouped_avg(&session)
+        .named("ê")
         .sample_count(2_000)
-        .build();
-    let result = frame.execute(&query, &config()).unwrap();
+        .execute()
+        .unwrap();
     assert!(result.converged);
     for g in &result.groups {
         assert!(
@@ -66,12 +77,12 @@ fn sample_count_condition_stops_after_requested_samples() {
 
 #[test]
 fn absolute_width_condition_delivers_the_requested_width() {
-    let frame = frame();
-    let query = AggQuery::avg("ë", Expr::col("value"))
-        .group_by("grp")
+    let session = session();
+    let result = grouped_avg(&session)
+        .named("ë")
         .absolute_width(8.0)
-        .build();
-    let result = frame.execute(&query, &config()).unwrap();
+        .execute()
+        .unwrap();
     assert!(result.converged);
     for g in &result.groups {
         assert!(
@@ -85,13 +96,13 @@ fn absolute_width_condition_delivers_the_requested_width() {
 
 #[test]
 fn relative_error_condition_delivers_the_requested_relative_error() {
-    let frame = frame();
-    let query = AggQuery::avg("ì", Expr::col("value"))
-        .group_by("grp")
+    let session = session();
+    let result = grouped_avg(&session)
+        .named("ì")
         .relative_error(0.2)
-        .build();
-    let result = frame.execute(&query, &config()).unwrap();
-    let exact = frame.execute_exact(&query).unwrap();
+        .execute()
+        .unwrap();
+    let exact = grouped_avg(&session).execute_exact().unwrap();
     assert!(result.converged);
     for eg in &exact.groups {
         let ag = result.groups.iter().find(|g| g.key == eg.key).unwrap();
@@ -102,12 +113,12 @@ fn relative_error_condition_delivers_the_requested_relative_error() {
 
 #[test]
 fn threshold_condition_places_every_group_on_the_correct_side() {
-    let frame = frame();
-    let query = AggQuery::avg("í", Expr::col("value"))
-        .group_by("grp")
+    let session = session();
+    let result = grouped_avg(&session)
+        .named("í")
         .having_gt(20.0)
-        .build();
-    let result = frame.execute(&query, &config()).unwrap();
+        .execute()
+        .unwrap();
     assert!(result.converged);
     let mut selected = result.selected_labels();
     selected.sort();
@@ -125,24 +136,24 @@ fn threshold_condition_places_every_group_on_the_correct_side() {
 
 #[test]
 fn top_k_condition_separates_the_top_group() {
-    let frame = frame();
-    let query = AggQuery::avg("î", Expr::col("value"))
-        .group_by("grp")
+    let session = session();
+    let result = grouped_avg(&session)
+        .named("î")
         .order_desc_limit(1)
-        .build();
-    let result = frame.execute(&query, &config()).unwrap();
+        .execute()
+        .unwrap();
     assert!(result.converged);
     assert_eq!(result.selected_labels(), vec!["high".to_string()]);
 }
 
 #[test]
 fn groups_ordered_condition_yields_non_overlapping_intervals() {
-    let frame = frame();
-    let query = AggQuery::avg("ï", Expr::col("value"))
-        .group_by("grp")
+    let session = session();
+    let result = grouped_avg(&session)
+        .named("ï")
         .groups_ordered()
-        .build();
-    let result = frame.execute(&query, &config()).unwrap();
+        .execute()
+        .unwrap();
     assert!(result.converged);
     for (i, a) in result.groups.iter().enumerate() {
         for b in result.groups.iter().skip(i + 1) {
@@ -160,14 +171,14 @@ fn groups_ordered_condition_yields_non_overlapping_intervals() {
 
 #[test]
 fn impossible_condition_forces_a_full_exact_pass() {
-    let frame = frame();
-    let query = AggQuery::avg("impossible", Expr::col("value"))
-        .group_by("grp")
+    let session = session();
+    let result = grouped_avg(&session)
+        .named("impossible")
         .stop_when(StoppingCondition::AbsoluteWidth { epsilon: 0.0 })
-        .build();
-    let result = frame.execute(&query, &config()).unwrap();
+        .execute()
+        .unwrap();
     assert!(!result.converged);
-    let exact = frame.execute_exact(&query).unwrap();
+    let exact = grouped_avg(&session).execute_exact().unwrap();
     for eg in &exact.groups {
         let ag = result.groups.iter().find(|g| g.key == eg.key).unwrap();
         assert!(
@@ -180,17 +191,17 @@ fn impossible_condition_forces_a_full_exact_pass() {
 
 #[test]
 fn harder_conditions_require_more_data() {
-    let frame = frame();
-    let loose = AggQuery::avg("loose", Expr::col("value"))
-        .group_by("grp")
+    let session = session();
+    let loose_r = grouped_avg(&session)
+        .named("loose")
         .absolute_width(20.0)
-        .build();
-    let tight = AggQuery::avg("tight", Expr::col("value"))
-        .group_by("grp")
+        .execute()
+        .unwrap();
+    let tight_r = grouped_avg(&session)
+        .named("tight")
         .absolute_width(5.0)
-        .build();
-    let loose_r = frame.execute(&loose, &config()).unwrap();
-    let tight_r = frame.execute(&tight, &config()).unwrap();
+        .execute()
+        .unwrap();
     assert!(
         tight_r.metrics.blocks_fetched() >= loose_r.metrics.blocks_fetched(),
         "a tighter width target must not require fewer blocks"

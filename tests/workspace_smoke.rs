@@ -2,46 +2,57 @@
 //! dependency order (core ← store ← engine ← workloads ← bench) by pushing a
 //! tiny synthetic workload end-to-end through every layer.
 //!
-//! * `fastframe_workloads` generates the dataset,
+//! * `fastframe_workloads` generates the dataset and registers it into the
+//!   session,
 //! * `fastframe_store` types (`Expr`, `Predicate`) shape the queries,
-//! * `fastframe_engine` executes them approximately,
+//! * `fastframe_engine` executes them approximately through the fluent
+//!   session API,
 //! * `fastframe_core` supplies the bounder and the interval the assertions
 //!   check, and
 //! * `fastframe_bench` runs the exact baseline through its harness helpers.
 
-use fastframe_bench::run_exact;
+use fastframe_bench::{run_exact, BENCH_TABLE};
 use fastframe_core::bounder::BounderKind;
 use fastframe_engine::config::{EngineConfig, SamplingStrategy};
-use fastframe_engine::query::AggQuery;
-use fastframe_engine::session::FastFrame;
+use fastframe_engine::session::Session;
 use fastframe_store::expr::Expr;
 use fastframe_store::predicate::Predicate;
 use fastframe_workloads::flights::{columns, FlightsConfig, FlightsDataset};
 
-fn tiny_frame() -> (FlightsDataset, FastFrame) {
+fn tiny_session() -> (FlightsDataset, Session) {
     let dataset = FlightsDataset::generate(FlightsConfig::small().rows(20_000).airports(10))
         .expect("tiny dataset generates");
-    let frame = FastFrame::from_table(&dataset.table, 7).expect("scramble builds");
-    (dataset, frame)
-}
-
-fn config() -> EngineConfig {
-    EngineConfig::with_bounder(BounderKind::BernsteinRangeTrim)
-        .strategy(SamplingStrategy::Scan)
-        .delta(1e-9)
-        .round_rows(2_000)
-        .seed(3)
+    let mut session = Session::with_defaults(
+        EngineConfig::builder()
+            .bounder(BounderKind::BernsteinRangeTrim)
+            .strategy(SamplingStrategy::Scan)
+            .delta(1e-9)
+            .round_rows(2_000)
+            .seed(3)
+            .build(),
+    );
+    dataset
+        .register_into(&mut session, BENCH_TABLE)
+        .expect("table registers");
+    (dataset, session)
 }
 
 #[test]
 fn count_query_flows_through_all_five_crates() {
-    let (_dataset, frame) = tiny_frame();
-    let query = AggQuery::count("smoke-count")
+    let (_dataset, session) = tiny_session();
+    let approx = session
+        .query(BENCH_TABLE)
+        .count()
+        .named("smoke-count")
+        .filter(Predicate::cat_eq(columns::AIRLINE, "UA"))
+        .relative_error(0.1)
+        .execute()
+        .expect("approx executes");
+    let query = fastframe_engine::query::AggQuery::count("smoke-count")
         .filter(Predicate::cat_eq(columns::AIRLINE, "UA"))
         .relative_error(0.1)
         .build();
-    let approx = frame.execute(&query, &config()).expect("approx executes");
-    let exact = run_exact(&frame, &query);
+    let exact = run_exact(&session, &query);
     let truth = exact.result.global().unwrap().estimate.unwrap();
     let g = approx.global().unwrap();
     assert!(truth > 0.0, "the tiny dataset must contain UA flights");
@@ -54,12 +65,18 @@ fn count_query_flows_through_all_five_crates() {
 
 #[test]
 fn sum_query_flows_through_all_five_crates() {
-    let (_dataset, frame) = tiny_frame();
-    let query = AggQuery::sum("smoke-sum", Expr::col(columns::DEP_DELAY))
+    let (_dataset, session) = tiny_session();
+    let approx = session
+        .query(BENCH_TABLE)
+        .sum(Expr::col(columns::DEP_DELAY))
+        .named("smoke-sum")
+        .relative_error(0.2)
+        .execute()
+        .expect("approx executes");
+    let query = fastframe_engine::query::AggQuery::sum("smoke-sum", Expr::col(columns::DEP_DELAY))
         .relative_error(0.2)
         .build();
-    let approx = frame.execute(&query, &config()).expect("approx executes");
-    let exact = run_exact(&frame, &query);
+    let exact = run_exact(&session, &query);
     let truth = exact.result.global().unwrap().estimate.unwrap();
     let g = approx.global().unwrap();
     assert!(
@@ -70,7 +87,7 @@ fn sum_query_flows_through_all_five_crates() {
     // The exact baseline scans every block exactly once.
     assert_eq!(
         exact.blocks_fetched,
-        frame.scramble().num_blocks() as u64,
+        session.scramble(BENCH_TABLE).unwrap().num_blocks() as u64,
         "exact baseline must fetch every block"
     );
 }
