@@ -189,14 +189,25 @@ impl BoundContext {
 /// also obey the dataset-size monotonicity property of §3.3: increasing
 /// `ctx.n` never tightens the returned bounds.
 pub trait ErrorBounder {
-    /// Streaming state maintained while scanning tuples.
-    type State: Clone + std::fmt::Debug + Send;
+    /// Streaming state maintained while scanning tuples. The
+    /// [`PartialState`](crate::partial::PartialState) bound makes every
+    /// bounder usable in the engine's partitioned (multi-threaded) scan:
+    /// workers accumulate independent states that are merged back
+    /// deterministically in partition order.
+    type State: Clone + std::fmt::Debug + Send + crate::partial::PartialState + 'static;
 
     /// Ê Initializes state needed for error bounds.
     fn init_state(&self) -> Self::State;
 
     /// Ë Folds a newly-seen value into the state.
     fn update_state(&self, state: &mut Self::State, v: f64);
+
+    /// Folds a partial state accumulated over a later scan partition into
+    /// `state`. Deterministic for a fixed merge order (see
+    /// [`crate::partial`]).
+    fn merge_state(&self, state: &mut Self::State, other: &Self::State) {
+        crate::partial::PartialState::merge(state, other);
+    }
 
     /// Ì Confidence lower bound for `AVG(D)` with failure probability
     /// `< ctx.delta`.
@@ -229,9 +240,24 @@ pub trait ErrorBounder {
 
 /// Object-safe estimator: a bounder bundled with its own state, suitable for
 /// per-aggregate-view storage inside the query engine.
-pub trait MeanEstimator: Send {
+///
+/// The `Any` supertrait exists so that two boxed estimators of the *same*
+/// concrete kind can be merged through the object-safe interface
+/// ([`Self::merge_from`]): the engine's parallel scan accumulates one
+/// estimator per aggregate view per partition and folds them back into the
+/// master view in deterministic partition order.
+pub trait MeanEstimator: Send + std::any::Any {
     /// Observes a value that contributes to this aggregate.
     fn observe(&mut self, v: f64);
+
+    /// Merges `other` — a partial estimator of the **same concrete kind**
+    /// accumulated over a later scan partition — into this one. Returns
+    /// `false` (leaving `self` untouched) if the kinds differ.
+    fn merge_from(&mut self, other: &dyn MeanEstimator) -> bool;
+
+    /// Upcast used by [`Self::merge_from`] implementations to recover the
+    /// concrete estimator type.
+    fn as_any(&self) -> &dyn std::any::Any;
 
     /// Number of observed values.
     fn count(&self) -> u64;
@@ -280,9 +306,23 @@ impl<B: ErrorBounder> Estimator<B> {
     }
 }
 
-impl<B: ErrorBounder + Send> MeanEstimator for Estimator<B> {
+impl<B: ErrorBounder + Send + 'static> MeanEstimator for Estimator<B> {
     fn observe(&mut self, v: f64) {
         self.bounder.update_state(&mut self.state, v);
+    }
+
+    fn merge_from(&mut self, other: &dyn MeanEstimator) -> bool {
+        match other.as_any().downcast_ref::<Estimator<B>>() {
+            Some(other) => {
+                self.bounder.merge_state(&mut self.state, &other.state);
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
     }
 
     fn count(&self) -> u64 {
@@ -515,6 +555,45 @@ mod tests {
         assert!(ci.contains(mean));
         est.reset();
         assert_eq!(est.count(), 0);
+    }
+
+    #[test]
+    fn boxed_estimators_of_same_kind_merge() {
+        for kind in BounderKind::ALL {
+            // Sequential feed vs. two partials merged in order: counts and
+            // estimates must agree (up to float merge order, which is exact
+            // for these values).
+            let values: Vec<f64> = (0..200).map(|i| (i % 13) as f64).collect();
+            let mut whole = kind.make_estimator();
+            for &v in &values {
+                whole.observe(v);
+            }
+            let mut left = kind.make_estimator();
+            let mut right = kind.make_estimator();
+            for &v in &values[..120] {
+                left.observe(v);
+            }
+            for &v in &values[120..] {
+                right.observe(v);
+            }
+            assert!(left.merge_from(right.as_ref()), "{kind}");
+            assert_eq!(left.count(), whole.count(), "{kind}");
+            let merged = left.estimate().unwrap();
+            let sequential = whole.estimate().unwrap();
+            assert!(
+                (merged - sequential).abs() < 1e-9,
+                "{kind}: {merged} vs {sequential}"
+            );
+        }
+    }
+
+    #[test]
+    fn merging_different_kinds_is_rejected() {
+        let mut a = BounderKind::Hoeffding.make_estimator();
+        let b = BounderKind::BernsteinRangeTrim.make_estimator();
+        a.observe(1.0);
+        assert!(!a.merge_from(b.as_ref()));
+        assert_eq!(a.count(), 1);
     }
 
     #[test]

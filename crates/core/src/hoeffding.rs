@@ -28,6 +28,27 @@ pub struct HoeffdingState {
     pub mean: f64,
 }
 
+impl HoeffdingState {
+    /// Merges another partial state into this one: the sample sizes add and
+    /// the means combine count-weighted. Deterministic for a fixed merge
+    /// order, which the engine's partitioned scan guarantees.
+    pub fn merge(&mut self, other: &HoeffdingState) {
+        if other.m == 0 {
+            return;
+        }
+        let n1 = self.m as f64;
+        let n2 = other.m as f64;
+        self.mean += (other.mean - self.mean) * n2 / (n1 + n2);
+        self.m += other.m;
+    }
+}
+
+impl crate::partial::PartialState for HoeffdingState {
+    fn merge(&mut self, other: &Self) {
+        HoeffdingState::merge(self, other);
+    }
+}
+
 /// The Hoeffding–Serfling error bounder (Algorithm 1 in the paper).
 #[derive(Debug, Clone, Copy, Default)]
 pub struct HoeffdingSerfling;

@@ -64,6 +64,7 @@ pub mod error;
 pub mod expr_bounds;
 pub mod hoeffding;
 pub mod optstop;
+pub mod partial;
 pub mod pathology;
 pub mod range_trim;
 pub mod stopping;
@@ -80,6 +81,7 @@ pub use delta::DeltaBudget;
 pub use error::{CoreError, CoreResult};
 pub use hoeffding::HoeffdingSerfling;
 pub use optstop::{OptStopSchedule, RunningInterval};
+pub use partial::PartialState;
 pub use range_trim::RangeTrim;
 pub use stopping::StoppingCondition;
 pub use sum::sum_interval;
@@ -97,6 +99,7 @@ pub mod prelude {
     pub use crate::error::{CoreError, CoreResult};
     pub use crate::hoeffding::HoeffdingSerfling;
     pub use crate::optstop::{OptStopSchedule, RunningInterval};
+    pub use crate::partial::PartialState;
     pub use crate::range_trim::RangeTrim;
     pub use crate::stopping::StoppingCondition;
     pub use crate::sum::sum_interval;

@@ -53,6 +53,43 @@ pub struct RangeTrimState<S> {
     mean: f64,
 }
 
+impl<S: crate::partial::PartialState> RangeTrimState<S> {
+    /// Merges a later partition's partial state into this one.
+    ///
+    /// The inner states merge recursively and the running extremes, count and
+    /// untrimmed mean combine exactly. Each partition clipped its inner-state
+    /// feeds against *partition-local* prefix extremes (at most as extreme as
+    /// the global ones a sequential scan would have used) and withheld its
+    /// own first observation — both effects only widen the derived interval,
+    /// so merged bounds stay valid (conservative); see
+    /// [`crate::partial`] for the full argument.
+    pub fn merge(&mut self, other: &RangeTrimState<S>) {
+        if other.count == 0 {
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        self.mean += (other.mean - self.mean) * n2 / (n1 + n2);
+        self.count += other.count;
+        self.left.merge(&other.left);
+        self.right.merge(&other.right);
+        self.observed_min = match (self.observed_min, other.observed_min) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        self.observed_max = match (self.observed_max, other.observed_max) {
+            (Some(a), Some(b)) => Some(a.max(b)),
+            (a, b) => a.or(b),
+        };
+    }
+}
+
+impl<S: crate::partial::PartialState> crate::partial::PartialState for RangeTrimState<S> {
+    fn merge(&mut self, other: &Self) {
+        RangeTrimState::merge(self, other);
+    }
+}
+
 /// The RangeTrim meta-bounder: wraps any range-based SSI [`ErrorBounder`] and
 /// eliminates PHOS (Algorithm 6).
 #[derive(Debug, Clone, Copy, Default)]

@@ -131,6 +131,12 @@ impl RunningMoments {
     }
 }
 
+impl crate::partial::PartialState for RunningMoments {
+    fn merge(&mut self, other: &Self) {
+        RunningMoments::merge(self, other);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -81,6 +81,17 @@ pub struct EngineConfig {
     pub start_block: Option<usize>,
     /// Seed used to pick the starting block when `start_block` is `None`.
     pub seed: u64,
+    /// Number of scan worker threads for the partitioned scan/aggregation
+    /// pipeline. `0` (the default) resolves at execution time to the
+    /// `FASTFRAME_THREADS` environment variable if set, otherwise to the
+    /// machine's available parallelism — see
+    /// [`EngineConfig::effective_threads`].
+    ///
+    /// The thread count never changes query *results*: each round's block
+    /// list is partitioned independently of the thread count and per-worker
+    /// partial states are merged in block-id order, so estimates, variances
+    /// and CI bounds are bit-for-bit identical at any setting.
+    pub threads: usize,
 }
 
 impl Default for EngineConfig {
@@ -94,6 +105,7 @@ impl Default for EngineConfig {
             lookahead_batch: DEFAULT_LOOKAHEAD_BATCH,
             start_block: None,
             seed: 0x5eed,
+            threads: 0,
         }
     }
 }
@@ -161,6 +173,33 @@ impl EngineConfig {
     pub fn seed(mut self, seed: u64) -> Self {
         self.seed = seed;
         self
+    }
+
+    /// Sets the scan worker thread count (`0` = auto, see
+    /// [`Self::effective_threads`]).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Resolves the effective scan thread count: an explicit
+    /// [`Self::threads`] wins; otherwise the `FASTFRAME_THREADS` environment
+    /// variable (if set to a positive integer); otherwise the machine's
+    /// available parallelism. Always at least 1.
+    pub fn effective_threads(&self) -> usize {
+        if self.threads > 0 {
+            return self.threads;
+        }
+        if let Some(n) = std::env::var("FASTFRAME_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+        {
+            return n;
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
     }
 }
 
@@ -230,6 +269,13 @@ impl EngineConfigBuilder {
         self
     }
 
+    /// Sets the scan worker thread count (`0` = auto, see
+    /// [`EngineConfig::effective_threads`]).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.config.threads = threads;
+        self
+    }
+
     /// Finalizes the configuration.
     pub fn build(self) -> EngineConfig {
         self.config
@@ -250,6 +296,17 @@ mod tests {
         assert_eq!(c.round_rows, 40_000);
         assert_eq!(c.lookahead_batch, 1024);
         assert!(c.start_block.is_none());
+        assert_eq!(c.threads, 0, "threads default to auto");
+        assert!(c.effective_threads() >= 1);
+    }
+
+    #[test]
+    fn explicit_threads_override_auto_resolution() {
+        let c = EngineConfig::builder().threads(3).build();
+        assert_eq!(c.threads, 3);
+        assert_eq!(c.effective_threads(), 3);
+        let c = EngineConfig::default().threads(7);
+        assert_eq!(c.effective_threads(), 7);
     }
 
     #[test]
@@ -279,6 +336,7 @@ mod tests {
             .lookahead_batch(64)
             .start_block(3)
             .seed(11)
+            .threads(2)
             .build();
         assert_eq!(c.bounder, BounderKind::AndersonDkw);
         assert_eq!(c.strategy, SamplingStrategy::ActiveSync);
@@ -288,6 +346,7 @@ mod tests {
         assert_eq!(c.lookahead_batch, 64);
         assert_eq!(c.start_block, Some(3));
         assert_eq!(c.seed, 11);
+        assert_eq!(c.threads, 2);
         let c2 = c.to_builder().random_start().build();
         assert_eq!(c2.start_block, None);
         assert_eq!(

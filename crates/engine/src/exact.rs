@@ -123,6 +123,16 @@ pub fn execute_exact(scramble: &Scramble, query: &AggQuery) -> EngineResult<Quer
             rows_sampled: stats.rows_matched,
             rounds: 0,
             stopped_early: false,
+            // The exact baseline scans single-threaded; mirror its scan
+            // counters so the exec-vs-scan consistency invariant holds for
+            // every executor.
+            exec: crate::metrics::ExecMetrics {
+                blocks_fetched: stats.blocks_fetched,
+                rows_scanned: stats.rows_scanned,
+                rows_matched: stats.rows_matched,
+                partitions: 1,
+            },
+            threads: 1,
             scan: stats,
         },
     })

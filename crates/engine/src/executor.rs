@@ -26,6 +26,16 @@
 //! cancellation caps of a [`Budget`], and lets a per-round observer stop the
 //! scan ([`RoundControl`]). The blocking [`execute_approx`] simply drains
 //! that stream and keeps the finalized [`QueryResult`].
+//!
+//! Scanning and aggregation are **parallel**: each round's planned block
+//! list is handed to the partitioned pipeline of [`crate::parallel`], which
+//! splits it into thread-count-independent partitions, accumulates partial
+//! aggregate state per partition on a scoped worker pool
+//! ([`EngineConfig::effective_threads`] workers), and merges the partials in
+//! block-id order — so results are bit-for-bit identical at any thread
+//! count. Budget row caps are enforced when blocks are *granted* to a round
+//! (before any worker sees them), so `max_rows` is never exceeded under
+//! concurrency.
 
 use std::collections::HashMap;
 use std::time::Instant;
@@ -41,7 +51,8 @@ use fastframe_store::table::Table;
 
 use crate::config::{EngineConfig, SamplingStrategy};
 use crate::error::{EngineError, EngineResult};
-use crate::metrics::QueryMetrics;
+use crate::metrics::{ExecMetrics, QueryMetrics};
+use crate::parallel::{with_round_executor, RoundExecutor, ScanContext};
 use crate::progressive::{
     Budget, CancellationReason, GroupProgress, ProgressiveResult, RoundControl, Snapshot,
 };
@@ -60,10 +71,11 @@ pub type RoundObserver<'a> = dyn FnMut(&Snapshot) -> RoundControl + 'a;
 type BatchPlannerFn<'a> =
     dyn FnMut(&[BlockId], Option<&[BlockId]>, &ActiveSet) -> (Vec<bool>, u64) + 'a;
 
-/// A query bound against a particular scramble.
+/// A query bound against a particular scramble. Shared read-only with the
+/// scan workers of [`crate::parallel`].
 pub(crate) struct BoundQuery {
-    target: BoundExpr,
-    predicate: BoundPredicate,
+    pub(crate) target: BoundExpr,
+    pub(crate) predicate: BoundPredicate,
     group_cols: Vec<usize>,
     range: (f64, f64),
     predicate_eq: Option<(String, u32)>,
@@ -158,8 +170,10 @@ fn enumerate_groups(
 
 /// Maps a row's group-by dictionary codes to its aggregate-view id without
 /// any per-row heap allocation (the per-row cost of this lookup is on the
-/// critical path of every fetched block).
-enum GroupLookup {
+/// critical path of every fetched block). Shared read-only with the scan
+/// workers of [`crate::parallel`]; the per-worker scratch key is passed in
+/// by the caller.
+pub(crate) enum GroupLookup {
     /// Ungrouped query: everything routes to the single global view.
     Global,
     /// Single GROUP BY column: a dense code → view-id table.
@@ -208,7 +222,12 @@ impl GroupLookup {
 
     /// The view id for `row`, if its group exists.
     #[inline]
-    fn view_of(&self, table: &Table, row: usize, scratch: &mut Vec<u32>) -> Option<usize> {
+    pub(crate) fn view_of(
+        &self,
+        table: &Table,
+        row: usize,
+        scratch: &mut Vec<u32>,
+    ) -> Option<usize> {
         match self {
             GroupLookup::Global => Some(0),
             GroupLookup::SingleColumn {
@@ -232,16 +251,18 @@ impl GroupLookup {
     }
 }
 
-/// Mutable scan state threaded through the block loop.
+/// Mutable scan state owned by the coordinating thread. Workers never touch
+/// it: they report [`crate::parallel::PartitionPartial`]s that are merged in
+/// here between rounds.
 struct ScanState {
     views: Vec<AggregateView>,
-    lookup: GroupLookup,
-    scratch_codes: Vec<u32>,
     ever_inactive: Vec<bool>,
     /// View ids in the current active set (all views before the first round).
     active_view_ids: Vec<usize>,
     rows_scanned: u64,
     stats: ScanStats,
+    /// Worker-side counters, merged per round in partition order.
+    exec: ExecMetrics,
     rounds: u64,
     active: ActiveSet,
     any_active_skip: bool,
@@ -388,14 +409,14 @@ fn run_progressive(
     let batch_size = config.lookahead_batch.max(1);
 
     let all_view_ids: Vec<usize> = (0..views.len()).collect();
+    let num_views = views.len();
     let mut state = ScanState {
         views,
-        lookup,
-        scratch_codes: Vec::with_capacity(4),
         ever_inactive,
         active_view_ids: all_view_ids,
         rows_scanned: 0,
         stats: ScanStats::new(),
+        exec: ExecMetrics::default(),
         rounds: 0,
         active: ActiveSet::all_active(),
         any_active_skip: false,
@@ -407,6 +428,20 @@ fn run_progressive(
         snapshots: Vec::new(),
         start: start_time,
         cancellation: None,
+    };
+
+    // Shared, read-only context for the scan workers of the partitioned
+    // pipeline; the thread count never influences results (see
+    // `crate::parallel`). `threads` is the pool size actually used (clamped
+    // to the per-round partition cap), so metrics report reality.
+    let threads = crate::parallel::effective_pool_size(config.effective_threads());
+    let scan_ctx = ScanContext {
+        scramble,
+        bound: &bound,
+        aggregate: query.aggregate,
+        bounder: config.bounder,
+        lookup: &lookup,
+        num_views,
     };
 
     // Run the scan loop with the strategy-appropriate batch planner.
@@ -421,20 +456,22 @@ fn run_progressive(
             let mut planner = |chunk: &[BlockId], _next: Option<&[BlockId]>, active: &ActiveSet| {
                 plan_batch(&ctx, chunk, active)
             };
-            run_scan_loop(
-                scramble,
-                query,
-                config,
-                &bound,
-                &view_budget,
-                scramble_rows,
-                &blocks,
-                round_blocks,
-                batch_size,
-                &mut state,
-                &mut sink,
-                &mut planner,
-            )?;
+            with_round_executor(&scan_ctx, threads, |rexec| {
+                run_scan_loop(
+                    scramble,
+                    query,
+                    config,
+                    &view_budget,
+                    scramble_rows,
+                    &blocks,
+                    round_blocks,
+                    batch_size,
+                    rexec,
+                    &mut state,
+                    &mut sink,
+                    &mut planner,
+                )
+            })?;
         }
         SamplingStrategy::ActivePeek => {
             let worker_ctx = PlanContext::new(
@@ -462,20 +499,22 @@ fn run_progressive(
                         }
                         current
                     };
-                let out = run_scan_loop(
-                    scramble,
-                    query,
-                    config,
-                    &bound,
-                    &view_budget,
-                    scramble_rows,
-                    &blocks,
-                    round_blocks,
-                    batch_size,
-                    &mut state,
-                    &mut sink,
-                    &mut planner,
-                );
+                let out = with_round_executor(&scan_ctx, threads, |rexec| {
+                    run_scan_loop(
+                        scramble,
+                        query,
+                        config,
+                        &view_budget,
+                        scramble_rows,
+                        &blocks,
+                        round_blocks,
+                        batch_size,
+                        rexec,
+                        &mut state,
+                        &mut sink,
+                        &mut planner,
+                    )
+                });
                 // `peek` is dropped before the scope ends, closing the
                 // request channel so the worker thread exits before the scope
                 // joins it.
@@ -511,6 +550,8 @@ fn run_progressive(
         rounds: state.rounds,
         stopped_early: state.converged,
         scan: state.stats,
+        exec: state.exec,
+        threads,
     };
 
     Ok(ProgressiveResult {
@@ -528,25 +569,31 @@ fn run_progressive(
 
 /// The block-scan loop shared by all strategies. `planner` maps a batch of
 /// blocks (plus the following batch, for lookahead prefetching) to fetch/skip
-/// decisions.
+/// decisions; fetch-granted blocks accumulate into the current round's
+/// pending list and are scanned by the partitioned pipeline (`rexec`) when
+/// the round fills up.
 #[allow(clippy::too_many_arguments)]
 fn run_scan_loop(
     scramble: &Scramble,
     query: &AggQuery,
     config: &EngineConfig,
-    bound: &BoundQuery,
     view_budget: &DeltaBudget,
     scramble_rows: u64,
     blocks: &[BlockId],
     round_blocks: usize,
     batch_size: usize,
+    rexec: &RoundExecutor<'_>,
     state: &mut ScanState,
     sink: &mut ProgressiveSink<'_, '_>,
     planner: &mut BatchPlannerFn<'_>,
 ) -> EngineResult<()> {
-    let table = scramble.table();
-    let mut fetched_since_round = 0usize;
     let num_batches = blocks.len().div_ceil(batch_size);
+    // Blocks granted to the current round but not yet scanned.
+    let mut pending: Vec<BlockId> = Vec::with_capacity(round_blocks);
+    // Rows granted so far: rows already scanned plus the rows of `pending`.
+    // The row cap is enforced here, at grant time, before a worker ever sees
+    // the block — so `max_rows` cannot be exceeded however many threads scan.
+    let mut granted_rows: u64 = 0;
 
     if sink.budget.max_rounds == Some(0) {
         sink.cancellation = Some(CancellationReason::RoundBudget);
@@ -555,6 +602,9 @@ fn run_scan_loop(
 
     'batches: for batch_idx in 0..num_batches {
         if sink.check_deadline() {
+            // Pending blocks are dropped unscanned: the deadline wants the
+            // fastest possible valid answer, and unscanned grants are simply
+            // rows the estimate never saw.
             break 'batches;
         }
         let start = batch_idx * batch_size;
@@ -571,23 +621,27 @@ fn run_scan_loop(
 
         for (offset, &block) in chunk.iter().enumerate() {
             let fetch = decisions.get(offset).copied().unwrap_or(true);
+            let rows = scramble.block_rows(block);
+            let block_rows = (rows.end - rows.start) as u64;
             if !fetch {
-                let rows = scramble.block_rows(block);
-                state.record_skipped_block((rows.end - rows.start) as u64);
+                state.record_skipped_block(block_rows);
                 continue;
             }
             if let Some(cap) = sink.budget.max_rows {
-                let rows = scramble.block_rows(block);
-                if state.rows_scanned + (rows.end - rows.start) as u64 > cap {
+                if granted_rows + block_rows > cap {
                     sink.cancellation = Some(CancellationReason::RowBudget);
+                    // Blocks already granted fit under the cap; scan them so
+                    // the finalized answer uses every row the budget paid
+                    // for.
+                    merge_pending(scramble, rexec, &mut pending, state);
                     break 'batches;
                 }
             }
-            process_block(table, bound, query.aggregate, block, scramble, state);
-            fetched_since_round += 1;
+            granted_rows += block_rows;
+            pending.push(block);
 
-            if fetched_since_round >= round_blocks {
-                fetched_since_round = 0;
+            if pending.len() >= round_blocks {
+                merge_pending(scramble, rexec, &mut pending, state);
                 let (satisfied, group_snapshots) =
                     evaluate_round(query, config, view_budget, scramble_rows, state)?;
                 let mut control = RoundControl::Continue;
@@ -621,7 +675,50 @@ fn run_scan_loop(
             }
         }
     }
+    // Scramble exhausted with a partial round outstanding: fold it in so
+    // finalization sees every scanned row. (On cancellation the pending list
+    // is either already merged — row budget — or intentionally dropped.)
+    if sink.cancellation.is_none() {
+        merge_pending(scramble, rexec, &mut pending, state);
+    }
     Ok(())
+}
+
+/// Scans the pending blocks through the partitioned pipeline and merges the
+/// partials into the master state in partition (block-id) order.
+///
+/// Fetch accounting is deliberately two-sided: the storage-level `ScanStats`
+/// are derived here, on the coordinator, from the granted block list itself,
+/// while `ExecMetrics` accumulates what the workers *report* having scanned.
+/// A lost, duplicated or miscounted partition therefore shows up as a
+/// divergence between the two — the invariant the end-to-end tests assert.
+fn merge_pending(
+    scramble: &Scramble,
+    rexec: &RoundExecutor<'_>,
+    pending: &mut Vec<BlockId>,
+    state: &mut ScanState,
+) {
+    if pending.is_empty() {
+        return;
+    }
+    for &block in pending.iter() {
+        let rows = scramble.block_rows(block);
+        let block_rows = (rows.end - rows.start) as u64;
+        state.stats.record_fetch(block_rows);
+        state.rows_scanned += block_rows;
+    }
+    for partial in rexec.execute_round(pending) {
+        state.exec.merge(&partial.exec);
+        for vp in partial.views {
+            // `ScanStats::rows_matched` is rebuilt from the per-view deltas
+            // being merged, a different worker-side structure than the
+            // `ExecMetrics` counter it is asserted against — a dropped or
+            // double-merged view partial diverges the two.
+            state.stats.record_matches(vp.matched);
+            state.views[vp.view].absorb_partial(vp.matched, vp.estimator.as_ref());
+        }
+    }
+    pending.clear();
 }
 
 /// Packages the group snapshots of one completed round into a public
@@ -647,37 +744,6 @@ fn make_snapshot(
                 samples: s.samples,
             })
             .collect(),
-    }
-}
-
-/// Reads one block: evaluates the predicate per row, routes matching rows to
-/// their aggregate views.
-fn process_block(
-    table: &Table,
-    bound: &BoundQuery,
-    aggregate: AggregateFunction,
-    block: BlockId,
-    scramble: &Scramble,
-    state: &mut ScanState,
-) {
-    let rows = scramble.block_rows(block);
-    state.stats.record_fetch((rows.end - rows.start) as u64);
-    for row in rows {
-        state.rows_scanned += 1;
-        if !bound.predicate.matches(table, row) {
-            continue;
-        }
-        let value = match aggregate {
-            AggregateFunction::Count => 1.0,
-            _ => match bound.target.evaluate(table, row) {
-                Some(v) => v,
-                None => continue,
-            },
-        };
-        if let Some(view_id) = state.lookup.view_of(table, row, &mut state.scratch_codes) {
-            state.views[view_id].observe(value);
-            state.stats.record_matches(1);
-        }
     }
 }
 

@@ -76,6 +76,7 @@ pub mod execute;
 pub mod executor;
 pub mod frame;
 pub mod metrics;
+pub(crate) mod parallel;
 pub mod progressive;
 pub mod query;
 pub mod result;
@@ -88,7 +89,7 @@ pub use error::{EngineError, EngineResult};
 pub use execute::{ApproxExecutor, ExactExecutor, Execute};
 #[allow(deprecated)]
 pub use frame::FastFrame;
-pub use metrics::QueryMetrics;
+pub use metrics::{ExecMetrics, QueryMetrics};
 pub use progressive::{
     Budget, CancellationReason, GroupProgress, ProgressiveResult, RoundControl, Snapshot,
 };
@@ -103,7 +104,7 @@ pub mod prelude {
     pub use crate::execute::{ApproxExecutor, ExactExecutor, Execute};
     #[allow(deprecated)]
     pub use crate::frame::FastFrame;
-    pub use crate::metrics::QueryMetrics;
+    pub use crate::metrics::{ExecMetrics, QueryMetrics};
     pub use crate::progressive::{
         Budget, CancellationReason, GroupProgress, ProgressiveResult, RoundControl, Snapshot,
     };

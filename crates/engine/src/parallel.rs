@@ -1,0 +1,334 @@
+//! The partitioned scan/aggregation pipeline: a crossbeam-scoped worker pool
+//! that evaluates predicates and accumulates per-partition partial aggregate
+//! state, merged back deterministically in block-id order.
+//!
+//! ## Design
+//!
+//! Each OptStop round plans a list of blocks to fetch. That list is split
+//! into contiguous **partitions** whose boundaries depend only on the list
+//! length (see [`partition_size`]) — never on the thread count. Workers pull
+//! partitions off a shared job queue, scan each partition's blocks in block
+//! order into a fresh [`PartitionPartial`] (per-view estimator partials plus
+//! a private [`ExecMetrics`] counter block, so no counter is shared between
+//! threads), and send the partial back. The coordinator then merges the
+//! partials **in partition order** into the master views.
+//!
+//! Because the partition layout and the merge order are pure functions of
+//! the planned block list, the merged estimator states — and every
+//! estimate, variance and CI bound derived from them — are bit-for-bit
+//! identical at any thread count, including `threads = 1`, which runs the
+//! exact same partition/merge code inline without spawning.
+//!
+//! The pool lives for the whole query (workers are spawned once inside a
+//! `crossbeam::thread::scope` and fed rounds through channels), so per-round
+//! overhead is a handful of channel operations, not thread spawns.
+
+use fastframe_core::bounder::{BounderKind, BoxedEstimator};
+
+use fastframe_store::block::BlockId;
+use fastframe_store::scramble::Scramble;
+
+use crate::executor::{BoundQuery, GroupLookup};
+use crate::metrics::ExecMetrics;
+use crate::query::AggregateFunction;
+
+/// Upper bound on the number of partitions a round is split into. The
+/// partition layout must be independent of the thread count (determinism),
+/// so this is a constant rather than a multiple of the pool size; 64 keeps
+/// partitions comfortably ahead of any realistic core count while keeping
+/// the per-round merge cost trivial.
+pub(crate) const TARGET_PARTITIONS: usize = 64;
+
+/// Number of blocks per partition for a round of `total` planned blocks —
+/// a pure function of `total`, never of the thread count.
+pub(crate) fn partition_size(total: usize) -> usize {
+    total.div_ceil(TARGET_PARTITIONS).max(1)
+}
+
+/// The pool size actually used for a requested thread count: at least 1,
+/// and clamped to [`TARGET_PARTITIONS`] — a round never has more jobs, so
+/// extra workers could only idle, and the clamp keeps an absurd setting
+/// (or `FASTFRAME_THREADS` value) from exhausting OS thread limits. This is
+/// also the value reported in `QueryMetrics::threads`.
+pub(crate) fn effective_pool_size(threads: usize) -> usize {
+    threads.clamp(1, TARGET_PARTITIONS)
+}
+
+/// Everything a scan worker needs to process a partition: shared, read-only
+/// per-query state.
+pub(crate) struct ScanContext<'a> {
+    /// The scramble under scan.
+    pub scramble: &'a Scramble,
+    /// The bound query (predicate, target expression, group columns).
+    pub bound: &'a BoundQuery,
+    /// The query's aggregate function.
+    pub aggregate: AggregateFunction,
+    /// Bounder kind used to create per-partition estimator partials.
+    pub bounder: BounderKind,
+    /// Row → aggregate-view routing.
+    pub lookup: &'a GroupLookup,
+    /// Total number of aggregate views.
+    pub num_views: usize,
+}
+
+/// One aggregate view's accumulation over one partition.
+pub(crate) struct ViewPartial {
+    /// View id (index into the executor's view list).
+    pub view: usize,
+    /// Rows routed to the view in this partition.
+    pub matched: u64,
+    /// Estimator partial of the view's bounder kind.
+    pub estimator: BoxedEstimator,
+}
+
+/// The result of scanning one partition.
+pub(crate) struct PartitionPartial {
+    /// Partition index within the round (merge key).
+    pub index: usize,
+    /// Worker-private counters for this partition.
+    pub exec: ExecMetrics,
+    /// Touched views in ascending view-id order.
+    pub views: Vec<ViewPartial>,
+    /// The payload of a panic raised during the worker's scan, carried back
+    /// so the coordinator can resume it with its original message.
+    pub panic: Option<Box<dyn std::any::Any + Send>>,
+}
+
+/// Above this many aggregate views, partitions accumulate into a sorted map
+/// instead of a dense per-view slot vector: a dense vector would cost
+/// O(partitions × num_views) initialization and sweep per round even when
+/// each partition touches a handful of groups.
+const DENSE_VIEW_LIMIT: usize = 4096;
+
+/// Per-partition view accumulator: dense slots for small group universes
+/// (index = one array access on the row hot path), a sorted map for large
+/// ones. Both emit touched views in ascending view-id order.
+enum PartialViews {
+    Dense(Vec<Option<(u64, BoxedEstimator)>>),
+    Sparse(std::collections::BTreeMap<usize, (u64, BoxedEstimator)>),
+}
+
+impl PartialViews {
+    fn new(num_views: usize) -> Self {
+        if num_views <= DENSE_VIEW_LIMIT {
+            PartialViews::Dense((0..num_views).map(|_| None).collect())
+        } else {
+            PartialViews::Sparse(std::collections::BTreeMap::new())
+        }
+    }
+
+    #[inline]
+    fn slot(&mut self, view_id: usize, bounder: BounderKind) -> &mut (u64, BoxedEstimator) {
+        match self {
+            PartialViews::Dense(slots) => {
+                slots[view_id].get_or_insert_with(|| (0, bounder.make_estimator()))
+            }
+            PartialViews::Sparse(map) => map
+                .entry(view_id)
+                .or_insert_with(|| (0, bounder.make_estimator())),
+        }
+    }
+
+    fn into_sorted(self) -> Vec<ViewPartial> {
+        let emit = |(view, (matched, estimator)): (usize, (u64, BoxedEstimator))| ViewPartial {
+            view,
+            matched,
+            estimator,
+        };
+        match self {
+            PartialViews::Dense(slots) => slots
+                .into_iter()
+                .enumerate()
+                .filter_map(|(view, slot)| slot.map(|s| emit((view, s))))
+                .collect(),
+            PartialViews::Sparse(map) => map.into_iter().map(emit).collect(),
+        }
+    }
+}
+
+/// Scans one partition's blocks in block order, producing its partial.
+pub(crate) fn scan_partition(
+    ctx: &ScanContext<'_>,
+    index: usize,
+    blocks: &[BlockId],
+) -> PartitionPartial {
+    let table = ctx.scramble.table();
+    let mut views = PartialViews::new(ctx.num_views);
+    let mut scratch: Vec<u32> = Vec::with_capacity(4);
+    let mut exec = ExecMetrics::default();
+
+    for &block in blocks {
+        let rows = ctx.scramble.block_rows(block);
+        exec.record_block((rows.end - rows.start) as u64);
+        for row in rows {
+            if !ctx.bound.predicate.matches(table, row) {
+                continue;
+            }
+            let value = match ctx.aggregate {
+                AggregateFunction::Count => 1.0,
+                _ => match ctx.bound.target.evaluate(table, row) {
+                    Some(v) => v,
+                    None => continue,
+                },
+            };
+            if let Some(view_id) = ctx.lookup.view_of(table, row, &mut scratch) {
+                let (matched, estimator) = views.slot(view_id, ctx.bounder);
+                estimator.observe(value);
+                *matched += 1;
+                exec.record_matches(1);
+            }
+        }
+    }
+    exec.partitions = 1;
+
+    PartitionPartial {
+        index,
+        exec,
+        views: views.into_sorted(),
+        panic: None,
+    }
+}
+
+/// A partition job sent to the worker pool.
+#[derive(Debug)]
+struct Job {
+    index: usize,
+    blocks: Vec<BlockId>,
+}
+
+/// Channel ends the coordinator keeps while a pool is live.
+struct Pool {
+    jobs: crossbeam::channel::Sender<Job>,
+    results: crossbeam::channel::Receiver<PartitionPartial>,
+}
+
+/// Executes rounds of planned blocks, either inline (`threads == 1`) or on a
+/// scoped worker pool — with identical results either way.
+pub(crate) struct RoundExecutor<'a> {
+    ctx: &'a ScanContext<'a>,
+    pool: Option<Pool>,
+}
+
+impl RoundExecutor<'_> {
+    /// Scans every partition of `blocks` and returns the partials in
+    /// partition (block-id) order, ready for an in-order merge.
+    pub fn execute_round(&self, blocks: &[BlockId]) -> Vec<PartitionPartial> {
+        if blocks.is_empty() {
+            return Vec::new();
+        }
+        let psize = partition_size(blocks.len());
+        let chunks: Vec<&[BlockId]> = blocks.chunks(psize).collect();
+        let partials = match &self.pool {
+            None => chunks
+                .iter()
+                .enumerate()
+                .map(|(i, chunk)| scan_partition(self.ctx, i, chunk))
+                .collect(),
+            Some(pool) => {
+                for (i, chunk) in chunks.iter().enumerate() {
+                    pool.jobs
+                        .send(Job {
+                            index: i,
+                            blocks: chunk.to_vec(),
+                        })
+                        .expect("scan workers exited before the round ended");
+                }
+                let mut slots: Vec<Option<PartitionPartial>> =
+                    (0..chunks.len()).map(|_| None).collect();
+                for _ in 0..chunks.len() {
+                    let partial = pool
+                        .results
+                        .recv()
+                        .expect("scan workers exited before the round ended");
+                    let index = partial.index;
+                    slots[index] = Some(partial);
+                }
+                slots
+                    .into_iter()
+                    .map(|slot| slot.expect("every partition reports exactly once"))
+                    .collect::<Vec<_>>()
+            }
+        };
+        if partials.iter().any(|p| p.panic.is_some()) {
+            let payload = partials
+                .into_iter()
+                .find_map(|p| p.panic)
+                .expect("a panicked partial was just observed");
+            // Re-raise with the original payload so the message and any
+            // context it carries survive the thread hop.
+            std::panic::resume_unwind(payload);
+        }
+        partials
+    }
+}
+
+/// Runs `f` with a [`RoundExecutor`] appropriate for `threads`: inline for a
+/// single thread, otherwise a crossbeam-scoped pool of `threads` workers
+/// that lives exactly as long as `f`.
+pub(crate) fn with_round_executor<R>(
+    ctx: &ScanContext<'_>,
+    threads: usize,
+    f: impl FnOnce(&RoundExecutor<'_>) -> R,
+) -> R {
+    let threads = effective_pool_size(threads);
+    if threads <= 1 {
+        return f(&RoundExecutor { ctx, pool: None });
+    }
+    crossbeam::thread::scope(|scope| {
+        let (job_tx, job_rx) = crossbeam::channel::unbounded::<Job>();
+        let (result_tx, result_rx) = crossbeam::channel::unbounded::<PartitionPartial>();
+        for _ in 0..threads {
+            let jobs = job_rx.clone();
+            let results = result_tx.clone();
+            scope.spawn(move || {
+                while let Ok(job) = jobs.recv() {
+                    // Catch panics so the coordinator (blocked on the result
+                    // channel) is never deadlocked by a dying worker; the
+                    // poisoned marker re-raises the panic on the coordinator.
+                    let partial = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        scan_partition(ctx, job.index, &job.blocks)
+                    }))
+                    .unwrap_or_else(|payload| PartitionPartial {
+                        index: job.index,
+                        exec: ExecMetrics::default(),
+                        views: Vec::new(),
+                        panic: Some(payload),
+                    });
+                    if results.send(partial).is_err() {
+                        break;
+                    }
+                }
+            });
+        }
+        // The workers hold their own clones; dropping these ends the pool
+        // when `f` returns and the job sender goes out of scope.
+        drop(job_rx);
+        drop(result_tx);
+        f(&RoundExecutor {
+            ctx,
+            pool: Some(Pool {
+                jobs: job_tx,
+                results: result_rx,
+            }),
+        })
+    })
+    .expect("scan worker scope never returns Err")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_size_is_thread_count_independent() {
+        assert_eq!(partition_size(0), 1);
+        assert_eq!(partition_size(1), 1);
+        assert_eq!(partition_size(TARGET_PARTITIONS), 1);
+        assert_eq!(partition_size(TARGET_PARTITIONS + 1), 2);
+        assert_eq!(partition_size(1600), 25);
+        // Every round of `n` blocks yields at most TARGET_PARTITIONS chunks.
+        for n in [1usize, 7, 63, 64, 65, 1000, 4096] {
+            assert!(n.div_ceil(partition_size(n)) <= TARGET_PARTITIONS, "n={n}");
+        }
+    }
+}

@@ -19,6 +19,17 @@
 //! Entry points are [`crate::session::PreparedQuery::stream`] (callback per
 //! round) and [`crate::session::PreparedQuery::progressive`] (collect all
 //! rounds); the blocking `execute` simply drains the same stream.
+//!
+//! Snapshots are produced from the **merged** state of the partitioned scan
+//! pipeline: each round's blocks are scanned by a worker pool
+//! ([`EngineConfig::threads`](crate::config::EngineConfig)) and the
+//! per-partition partials are folded back in block-id order before the
+//! round's intervals are recomputed. Every snapshot — estimates, CI bounds,
+//! group order, `rows_scanned` — is therefore bit-for-bit identical at any
+//! thread count. Budget caps compose with concurrency the same way:
+//! `max_rows` is enforced when blocks are granted to a round (before any
+//! worker sees them), and a deadline or observer stop finalizes the state
+//! of the last fully-merged round.
 
 use std::time::Duration;
 
@@ -42,9 +53,11 @@ use crate::result::{GroupKey, QueryResult};
 /// ```
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Budget {
-    /// Cap on rows read from fetched blocks. The engine stops *before*
-    /// fetching a block that would push the scanned-row count past the cap,
-    /// so the cap is never exceeded.
+    /// Cap on rows read from fetched blocks. Enforced when blocks are
+    /// *granted* to a round — before any scan worker sees them — so the cap
+    /// is never exceeded at any thread count; blocks already granted under
+    /// the cap are still scanned so the final answer uses every row the
+    /// budget paid for.
     pub max_rows: Option<u64>,
     /// Cap on completed OptStop rounds (CI recomputations).
     pub max_rounds: Option<u64>,

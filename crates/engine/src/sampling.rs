@@ -15,6 +15,13 @@
 //!
 //! [`plan_batch`] contains the shared decision logic; [`PeekPlanner`] adds the
 //! double-buffered worker pipeline used by `ActivePeek`.
+//!
+//! Planning composes with the partitioned scan pipeline of
+//! [`crate::parallel`]: the planner (inline or lookahead) decides *which*
+//! blocks a round fetches, and the worker pool then scans the granted
+//! blocks. Decisions depend only on the active set at plan time — never on
+//! worker scheduling — so the planned block sequence, and with it every
+//! result, is independent of the scan thread count.
 
 use crossbeam::channel::{bounded, Receiver, Sender};
 

@@ -372,6 +372,14 @@ impl<'s> QueryBuilder<'s> {
         self
     }
 
+    /// Overrides the scan worker thread count for this query (`0` = auto,
+    /// see [`EngineConfig::effective_threads`]). The thread count never
+    /// changes results — per-partition partial states are merged in block-id
+    /// order, so output is bit-for-bit identical at any setting.
+    pub fn threads(self, threads: usize) -> Self {
+        self.tune(|c| c.threads(threads))
+    }
+
     /// Tweaks the effective configuration through a builder seeded with the
     /// current one (the session defaults unless [`Self::config`] was called):
     /// `…​.tune(|c| c.delta(0.05).round_rows(10_000))`.

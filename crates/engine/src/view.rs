@@ -12,7 +12,7 @@
 //! * running (monotonically shrinking) intervals across OptStop rounds for
 //!   both the aggregate and the COUNT.
 
-use fastframe_core::bounder::{BoundContext, BounderKind, BoxedEstimator, Ci};
+use fastframe_core::bounder::{BoundContext, BounderKind, BoxedEstimator, Ci, MeanEstimator};
 use fastframe_core::count::SelectivityTracker;
 use fastframe_core::error::CoreResult;
 use fastframe_core::optstop::RunningInterval;
@@ -84,6 +84,23 @@ impl AggregateView {
     pub fn observe(&mut self, value: f64) {
         self.matched += 1;
         self.estimator.observe(value);
+    }
+
+    /// Folds a scan partition's partial accumulation for this view into the
+    /// master state: `matched` rows observed on a worker, whose estimator
+    /// (of the same [`BounderKind`]) is merged deterministically.
+    ///
+    /// The running intervals are *not* touched here — they only advance at
+    /// round boundaries via [`Self::round_update`], after every partition of
+    /// the round has been merged, which is what keeps round evaluation
+    /// identical at any thread count.
+    pub fn absorb_partial(&mut self, matched: u64, estimator: &dyn MeanEstimator) {
+        self.matched += matched;
+        let merged = self.estimator.merge_from(estimator);
+        debug_assert!(
+            merged,
+            "partition estimator kind differs from the view's bounder"
+        );
     }
 
     /// Records that `rows` rows were skipped in blocks provably containing no
@@ -317,6 +334,31 @@ mod tests {
         assert_eq!(v.matched(), 100);
         assert!((v.mean_estimate().unwrap() - 50.0).abs() < 1.0);
         assert_eq!(v.range(), (0.0, 100.0));
+    }
+
+    #[test]
+    fn absorb_partial_matches_direct_observation() {
+        // A view that absorbed two partition partials must agree with one
+        // that observed the same values partition-by-partition.
+        let mut direct = view(BounderKind::BernsteinRangeTrim);
+        let mut merged = view(BounderKind::BernsteinRangeTrim);
+        let mut partial_a = BounderKind::BernsteinRangeTrim.make_estimator();
+        let mut partial_b = BounderKind::BernsteinRangeTrim.make_estimator();
+        for i in 0..300u64 {
+            let v = 10.0 + (i % 17) as f64;
+            direct.observe(v);
+            if i < 200 {
+                partial_a.observe(v);
+            } else {
+                partial_b.observe(v);
+            }
+        }
+        merged.absorb_partial(200, partial_a.as_ref());
+        merged.absorb_partial(100, partial_b.as_ref());
+        assert_eq!(merged.matched(), direct.matched());
+        let m = merged.mean_estimate().unwrap();
+        let d = direct.mean_estimate().unwrap();
+        assert!((m - d).abs() < 1e-9, "{m} vs {d}");
     }
 
     #[test]

@@ -169,3 +169,44 @@ fn results_are_reproducible_for_a_fixed_seed() {
     assert_eq!(a.metrics.blocks_fetched(), b.metrics.blocks_fetched());
     assert_eq!(a.metrics.rounds, b.metrics.rounds);
 }
+
+#[test]
+fn exec_metrics_totals_match_scan_counters_for_the_whole_suite() {
+    // The per-worker ExecMetrics counters are merged race-free at round end;
+    // after any execution they must agree exactly with the storage-level
+    // ScanStats, at both thread settings.
+    let session = small_session();
+    for threads in [1usize, 4] {
+        for template in all_default_queries() {
+            let result = session
+                .prepare(TABLE, &template.query)
+                .expect("query prepares")
+                .with_config(
+                    config(BounderKind::BernsteinRangeTrim)
+                        .to_builder()
+                        .threads(threads)
+                        .build(),
+                )
+                .execute()
+                .expect("query runs");
+            let m = &result.metrics;
+            assert_eq!(
+                m.exec.blocks_fetched, m.scan.blocks_fetched,
+                "{} threads={threads}: blocks diverge",
+                template.query.name
+            );
+            assert_eq!(
+                m.exec.rows_scanned, m.scan.rows_scanned,
+                "{} threads={threads}: rows diverge",
+                template.query.name
+            );
+            assert_eq!(
+                m.exec.rows_matched, m.scan.rows_matched,
+                "{} threads={threads}: matches diverge",
+                template.query.name
+            );
+            assert_eq!(m.threads, threads);
+            assert!(m.exec.partitions > 0, "at least one partition per scan");
+        }
+    }
+}

@@ -1,12 +1,17 @@
 //! Offline vendored shim for the subset of the `crossbeam` API this workspace
-//! uses: bounded MPSC channels (`crossbeam::channel::{bounded, Sender,
-//! Receiver}`).
+//! uses: multi-producer **multi-consumer** channels
+//! (`crossbeam::channel::{bounded, unbounded, Sender, Receiver}`) and scoped
+//! threads (`crossbeam::thread::scope`).
 //!
 //! The container this repository builds in has no network access to a crate
-//! registry, so the real `crossbeam` crate cannot be fetched. The shim wraps
-//! `std::sync::mpsc::sync_channel`, which has the same blocking-`send` /
-//! blocking-`recv` semantics for the single-producer single-consumer pipeline
-//! the engine's `ActivePeek` lookahead planner builds.
+//! registry, so the real `crossbeam` crate cannot be fetched. The channel
+//! here is a straightforward `Mutex<VecDeque> + Condvar` implementation:
+//! both halves are cloneable, so a pool of workers can share one job queue
+//! (the engine's partitioned scan pipeline) while the single-producer
+//! single-consumer case (the `ActivePeek` lookahead planner) keeps the same
+//! blocking-`send` / blocking-`recv` semantics it had when the shim wrapped
+//! `std::sync::mpsc`. `thread::scope` wraps `std::thread::scope`, with the
+//! one divergence that spawn closures take no scope argument.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -14,39 +19,90 @@
 
 /// Multi-producer multi-consumer channels, mirroring `crossbeam::channel`.
 pub mod channel {
-    use std::sync::mpsc;
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Condvar, Mutex};
 
-    /// Error returned by [`Sender::send`] when the receiving side has been
+    /// Error returned by [`Sender::send`] when every receiver has been
     /// dropped; carries the unsent message like `crossbeam`'s.
     #[derive(Debug, PartialEq, Eq)]
     pub struct SendError<T>(pub T);
 
-    /// Error returned by [`Receiver::recv`] when the sending side has been
+    /// Error returned by [`Receiver::recv`] when every sender has been
     /// dropped and the channel is empty.
     #[derive(Debug, PartialEq, Eq)]
     pub struct RecvError;
 
-    /// The sending half of a bounded channel.
-    #[derive(Debug)]
-    pub struct Sender<T>(mpsc::SyncSender<T>);
+    struct State<T> {
+        queue: VecDeque<T>,
+        /// `None` for an unbounded channel.
+        capacity: Option<usize>,
+        senders: usize,
+        receivers: usize,
+    }
 
-    /// The receiving half of a bounded channel.
-    #[derive(Debug)]
-    pub struct Receiver<T>(mpsc::Receiver<T>);
+    struct Shared<T> {
+        state: Mutex<State<T>>,
+        not_empty: Condvar,
+        not_full: Condvar,
+    }
+
+    /// The sending half of a channel. Cloneable: every clone feeds the same
+    /// queue.
+    pub struct Sender<T>(Arc<Shared<T>>);
+
+    /// The receiving half of a channel. Cloneable: clones *compete* for
+    /// messages (each message is delivered to exactly one receiver), which is
+    /// what a worker pool sharing a job queue wants.
+    pub struct Receiver<T>(Arc<Shared<T>>);
+
+    impl<T> std::fmt::Debug for Sender<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("Sender(..)")
+        }
+    }
+
+    impl<T> std::fmt::Debug for Receiver<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("Receiver(..)")
+        }
+    }
 
     impl<T> Sender<T> {
         /// Sends `value`, blocking while the channel is full. Returns the
-        /// value back if the receiver has been dropped.
+        /// value back once every receiver has been dropped.
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
-            self.0
-                .send(value)
-                .map_err(|mpsc::SendError(v)| SendError(v))
+            let mut state = self.0.state.lock().expect("channel mutex poisoned");
+            loop {
+                if state.receivers == 0 {
+                    return Err(SendError(value));
+                }
+                let full = state.capacity.is_some_and(|cap| state.queue.len() >= cap);
+                if !full {
+                    state.queue.push_back(value);
+                    self.0.not_empty.notify_one();
+                    return Ok(());
+                }
+                state = self.0.not_full.wait(state).expect("channel mutex poisoned");
+            }
         }
     }
 
     impl<T> Clone for Sender<T> {
         fn clone(&self) -> Self {
-            Self(self.0.clone())
+            self.0.state.lock().expect("channel mutex poisoned").senders += 1;
+            Self(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut state = self.0.state.lock().expect("channel mutex poisoned");
+            state.senders -= 1;
+            if state.senders == 0 {
+                // Wake receivers blocked on an empty queue so they observe
+                // the disconnect.
+                self.0.not_empty.notify_all();
+            }
         }
     }
 
@@ -55,14 +111,73 @@ pub mod channel {
         /// Fails only once all senders have been dropped and the channel has
         /// drained.
         pub fn recv(&self) -> Result<T, RecvError> {
-            self.0.recv().map_err(|mpsc::RecvError| RecvError)
+            let mut state = self.0.state.lock().expect("channel mutex poisoned");
+            loop {
+                if let Some(value) = state.queue.pop_front() {
+                    self.0.not_full.notify_one();
+                    return Ok(value);
+                }
+                if state.senders == 0 {
+                    return Err(RecvError);
+                }
+                state = self
+                    .0
+                    .not_empty
+                    .wait(state)
+                    .expect("channel mutex poisoned");
+            }
         }
     }
 
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.0
+                .state
+                .lock()
+                .expect("channel mutex poisoned")
+                .receivers += 1;
+            Self(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut state = self.0.state.lock().expect("channel mutex poisoned");
+            state.receivers -= 1;
+            if state.receivers == 0 {
+                // Wake senders blocked on a full queue so they observe the
+                // disconnect.
+                self.0.not_full.notify_all();
+            }
+        }
+    }
+
+    fn channel<T>(capacity: Option<usize>) -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                capacity,
+                senders: 1,
+                receivers: 1,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        });
+        (Sender(Arc::clone(&shared)), Receiver(shared))
+    }
+
     /// Creates a bounded channel with capacity `cap`.
+    ///
+    /// Divergence from `crossbeam`: `cap == 0` (a rendezvous channel there)
+    /// is treated as capacity 1; no caller in this workspace relies on
+    /// rendezvous semantics.
     pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
-        let (tx, rx) = mpsc::sync_channel(cap);
-        (Sender(tx), Receiver(rx))
+        channel(Some(cap.max(1)))
+    }
+
+    /// Creates an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        channel(None)
     }
 
     #[cfg(test)]
@@ -99,6 +214,120 @@ pub mod channel {
                 let got: Vec<u32> = (0..10).map(|_| rx.recv().unwrap()).collect();
                 assert_eq!(got, (0..10).collect::<Vec<_>>());
             });
+        }
+
+        #[test]
+        fn cloned_receivers_compete_for_messages() {
+            let (tx, rx1) = unbounded::<u32>();
+            let rx2 = rx1.clone();
+            for i in 0..100 {
+                tx.send(i).unwrap();
+            }
+            drop(tx);
+            let (mut a, mut b) = (Vec::new(), Vec::new());
+            std::thread::scope(|scope| {
+                scope.spawn(|| {
+                    while let Ok(v) = rx1.recv() {
+                        a.push(v);
+                    }
+                });
+                scope.spawn(|| {
+                    while let Ok(v) = rx2.recv() {
+                        b.push(v);
+                    }
+                });
+            });
+            let mut all: Vec<u32> = a.iter().chain(&b).copied().collect();
+            all.sort_unstable();
+            assert_eq!(all, (0..100).collect::<Vec<_>>());
+        }
+
+        #[test]
+        fn receiver_unblocks_when_last_sender_drops_on_another_thread() {
+            let (tx, rx) = unbounded::<u32>();
+            std::thread::scope(|scope| {
+                scope.spawn(move || {
+                    tx.send(1).unwrap();
+                    // tx dropped here
+                });
+                assert_eq!(rx.recv(), Ok(1));
+                assert_eq!(rx.recv(), Err(RecvError));
+            });
+        }
+
+        #[test]
+        fn bounded_blocks_until_space() {
+            let (tx, rx) = bounded::<u32>(1);
+            std::thread::scope(|scope| {
+                scope.spawn(move || {
+                    tx.send(1).unwrap();
+                    tx.send(2).unwrap(); // blocks until the first recv
+                });
+                assert_eq!(rx.recv(), Ok(1));
+                assert_eq!(rx.recv(), Ok(2));
+            });
+        }
+    }
+}
+
+/// Scoped threads, mirroring `crossbeam::thread`.
+pub mod thread {
+    /// A scope handle for spawning threads that may borrow non-`'static`
+    /// data, backed by [`std::thread::scope`].
+    pub struct Scope<'scope, 'env>(&'scope std::thread::Scope<'scope, 'env>);
+
+    /// Handle to a thread spawned in a [`Scope`].
+    pub struct ScopedJoinHandle<'scope, T>(std::thread::ScopedJoinHandle<'scope, T>);
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread to finish, returning its result (or the
+        /// panic payload if it panicked).
+        pub fn join(self) -> std::thread::Result<T> {
+            self.0.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a thread inside the scope.
+        ///
+        /// Divergence from `crossbeam`: the closure takes no `&Scope`
+        /// argument (nested spawning from inside a worker is not used by
+        /// this workspace).
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce() -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            ScopedJoinHandle(self.0.spawn(f))
+        }
+    }
+
+    /// Creates a scope in which threads borrowing local data can be spawned;
+    /// every spawned thread is joined before the call returns. Mirrors
+    /// `crossbeam::thread::scope`, including the `Result` wrapper (which is
+    /// always `Ok` here: panics of unjoined threads propagate as panics,
+    /// exactly like `std::thread::scope`).
+    pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope(s))))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn scoped_threads_borrow_and_join() {
+            let data = [1u64, 2, 3, 4];
+            let total: u64 = scope(|s| {
+                let h1 = s.spawn(|| data[..2].iter().sum::<u64>());
+                let h2 = s.spawn(|| data[2..].iter().sum::<u64>());
+                h1.join().unwrap() + h2.join().unwrap()
+            })
+            .unwrap();
+            assert_eq!(total, 10);
         }
     }
 }
