@@ -8,7 +8,7 @@
 //! 4. `Rbound(S, a, b, N, δ)` — a confidence *upper* bound for `AVG(D)`.
 //!
 //! [`ErrorBounder`] mirrors this interface with an associated `State` type so
-//! that concrete bounders (and the [`RangeTrim`](crate::range_trim::RangeTrim)
+//! that concrete bounders (and the [`RangeTrim`]
 //! wrapper) compose with static dispatch. For the query engine, which selects
 //! the bounder at runtime, [`BounderKind`] provides a factory producing a
 //! [`BoxedEstimator`] — an object-safe, self-contained estimator owning both

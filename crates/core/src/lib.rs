@@ -15,10 +15,10 @@
 //! * the streaming bounder interface of the paper (§2.2.2):
 //!   [`ErrorBounder`] with `init_state` / `update_state` / `lbound` / `rbound`;
 //! * three concrete bounders —
-//!   [`HoeffdingSerfling`](hoeffding::HoeffdingSerfling) (Algorithm 1),
-//!   [`EmpiricalBernsteinSerfling`](bernstein::EmpiricalBernsteinSerfling)
-//!   (Algorithm 2) and [`AndersonDkw`](anderson::AndersonDkw) (Algorithm 3);
-//! * the paper's primary contribution, the [`RangeTrim`](range_trim::RangeTrim)
+//!   [`HoeffdingSerfling`] (Algorithm 1),
+//!   [`EmpiricalBernsteinSerfling`]
+//!   (Algorithm 2) and [`AndersonDkw`] (Algorithm 3);
+//! * the paper's primary contribution, the [`RangeTrim`]
 //!   meta-bounder (Algorithms 4 & 6), which removes *phantom outlier
 //!   sensitivity* (PHOS) from any range-based bounder;
 //! * the [`OptStop`](optstop) optional-stopping machinery (Algorithm 5) and the

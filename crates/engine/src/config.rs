@@ -131,6 +131,7 @@ impl EngineConfig {
     ///     .build();
     /// assert_eq!(config.delta, 0.05);
     /// ```
+    #[must_use = "the builder does nothing until `build` is called"]
     pub fn builder() -> EngineConfigBuilder {
         EngineConfigBuilder {
             config: Self::default(),
@@ -139,6 +140,7 @@ impl EngineConfig {
 
     /// Starts a builder from this configuration — the idiom for per-query
     /// overrides on top of session defaults.
+    #[must_use = "the builder does nothing until `build` is called"]
     pub fn to_builder(&self) -> EngineConfigBuilder {
         EngineConfigBuilder {
             config: self.clone(),
@@ -146,30 +148,35 @@ impl EngineConfig {
     }
 
     /// Sets the sampling strategy.
+    #[must_use = "this returns the modified value; the receiver is consumed"]
     pub fn strategy(mut self, strategy: SamplingStrategy) -> Self {
         self.strategy = strategy;
         self
     }
 
     /// Sets the error budget.
+    #[must_use = "this returns the modified value; the receiver is consumed"]
     pub fn delta(mut self, delta: f64) -> Self {
         self.delta = delta;
         self
     }
 
     /// Sets the OptStop round size (rows per round).
+    #[must_use = "this returns the modified value; the receiver is consumed"]
     pub fn round_rows(mut self, rows: u64) -> Self {
         self.round_rows = rows;
         self
     }
 
     /// Sets a deterministic scan start block.
+    #[must_use = "this returns the modified value; the receiver is consumed"]
     pub fn start_block(mut self, block: usize) -> Self {
         self.start_block = Some(block);
         self
     }
 
     /// Sets the seed used for the random scan start.
+    #[must_use = "this returns the modified value; the receiver is consumed"]
     pub fn seed(mut self, seed: u64) -> Self {
         self.seed = seed;
         self
@@ -177,6 +184,7 @@ impl EngineConfig {
 
     /// Sets the scan worker thread count (`0` = auto, see
     /// [`Self::effective_threads`]).
+    #[must_use = "this returns the modified value; the receiver is consumed"]
     pub fn threads(mut self, threads: usize) -> Self {
         self.threads = threads;
         self
@@ -210,6 +218,7 @@ impl EngineConfig {
 /// one with [`EngineConfig::builder`] (paper defaults) or
 /// [`EngineConfig::to_builder`] (override an existing configuration).
 #[derive(Debug, Clone)]
+#[must_use = "EngineConfigBuilder does nothing until `build` is called"]
 pub struct EngineConfigBuilder {
     config: EngineConfig,
 }
@@ -222,12 +231,14 @@ impl EngineConfigBuilder {
     }
 
     /// Sets the sampling strategy.
+    #[must_use = "this returns the modified value; the receiver is consumed"]
     pub fn strategy(mut self, strategy: SamplingStrategy) -> Self {
         self.config.strategy = strategy;
         self
     }
 
     /// Sets the total error probability budget δ.
+    #[must_use = "this returns the modified value; the receiver is consumed"]
     pub fn delta(mut self, delta: f64) -> Self {
         self.config.delta = delta;
         self
@@ -240,6 +251,7 @@ impl EngineConfigBuilder {
     }
 
     /// Sets the OptStop round size (rows per round).
+    #[must_use = "this returns the modified value; the receiver is consumed"]
     pub fn round_rows(mut self, rows: u64) -> Self {
         self.config.round_rows = rows;
         self
@@ -252,6 +264,7 @@ impl EngineConfigBuilder {
     }
 
     /// Pins the scan start to a specific block (deterministic scans).
+    #[must_use = "this returns the modified value; the receiver is consumed"]
     pub fn start_block(mut self, block: usize) -> Self {
         self.config.start_block = Some(block);
         self
@@ -264,6 +277,7 @@ impl EngineConfigBuilder {
     }
 
     /// Sets the seed used for the random scan start.
+    #[must_use = "this returns the modified value; the receiver is consumed"]
     pub fn seed(mut self, seed: u64) -> Self {
         self.config.seed = seed;
         self
@@ -271,6 +285,7 @@ impl EngineConfigBuilder {
 
     /// Sets the scan worker thread count (`0` = auto, see
     /// [`EngineConfig::effective_threads`]).
+    #[must_use = "this returns the modified value; the receiver is consumed"]
     pub fn threads(mut self, threads: usize) -> Self {
         self.config.threads = threads;
         self

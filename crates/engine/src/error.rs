@@ -27,6 +27,12 @@ pub enum EngineError {
         /// The conflicting table name.
         name: String,
     },
+    /// The operation needs an in-memory scramble, but the table is backed by
+    /// an on-disk segment (registered via `Session::open_table`).
+    SegmentBacked {
+        /// The segment-backed table's name.
+        name: String,
+    },
     /// The query builder was finalized without an aggregate (`avg` / `sum` /
     /// `count`).
     MissingAggregate,
@@ -46,6 +52,12 @@ impl std::fmt::Display for EngineError {
             }
             EngineError::DuplicateTable { name } => {
                 write!(f, "a table named `{name}` is already registered")
+            }
+            EngineError::SegmentBacked { name } => {
+                write!(
+                    f,
+                    "table `{name}` is backed by an on-disk segment, not an in-memory scramble"
+                )
             }
             EngineError::MissingAggregate => {
                 write!(f, "query built without an aggregate (avg / sum / count)")
@@ -106,6 +118,10 @@ mod tests {
             name: "flights".into(),
         };
         assert!(e.to_string().contains("already"));
+        let e = EngineError::SegmentBacked {
+            name: "flights".into(),
+        };
+        assert!(e.to_string().contains("segment"));
         assert!(EngineError::MissingAggregate
             .to_string()
             .contains("aggregate"));

@@ -11,7 +11,7 @@ use std::time::Instant;
 
 use fastframe_core::bounder::Ci;
 use fastframe_core::variance::RunningMoments;
-use fastframe_store::scramble::Scramble;
+use fastframe_store::source::BlockSource;
 use fastframe_store::stats::ScanStats;
 
 use crate::error::{EngineError, EngineResult};
@@ -19,25 +19,26 @@ use crate::metrics::QueryMetrics;
 use crate::query::{AggQuery, AggregateFunction};
 use crate::result::{select_groups, GroupKey, GroupResult, QueryResult};
 
-/// Executes `query` exactly by scanning the entire scramble.
-pub fn execute_exact(scramble: &Scramble, query: &AggQuery) -> EngineResult<QueryResult> {
+/// Executes `query` exactly by scanning every block of the source (in-memory
+/// scramble or on-disk segment alike).
+pub fn execute_exact(source: &dyn BlockSource, query: &AggQuery) -> EngineResult<QueryResult> {
     let start_time = Instant::now();
-    let table = scramble.table();
-    if table.num_rows() == 0 {
+    let schema = source.schema();
+    if source.num_rows() == 0 {
         return Err(EngineError::EmptyScramble);
     }
 
-    let target = query.target.bind(table)?;
-    let predicate = query.filter.bind(table)?;
+    let target = query.target.bind(schema)?;
+    let predicate = query.filter.bind(schema)?;
     let mut group_cols = Vec::with_capacity(query.group_by.len());
     for name in &query.group_by {
-        let col = table.column(name)?;
+        let col = schema.column(name)?;
         if col.cardinality().is_none() {
             return Err(EngineError::InvalidGroupBy {
                 column: name.clone(),
             });
         }
-        group_cols.push(table.column_index(name)?);
+        group_cols.push(schema.column_index(name)?);
     }
 
     let mut stats = ScanStats::new();
@@ -48,10 +49,11 @@ pub fn execute_exact(scramble: &Scramble, query: &AggQuery) -> EngineResult<Quer
         groups.push((GroupKey::global(), RunningMoments::new()));
     }
 
-    for block in 0..scramble.num_blocks() {
-        let rows = scramble.block_rows(fastframe_store::block::BlockId(block));
-        stats.record_fetch((rows.end - rows.start) as u64);
-        for row in rows {
+    for block in 0..source.num_blocks() {
+        let block_ref = source.read_block(fastframe_store::block::BlockId(block))?;
+        let table = block_ref.table();
+        stats.record_fetch(block_ref.len() as u64);
+        for row in block_ref.rows() {
             if !predicate.matches(table, row) {
                 continue;
             }
@@ -144,6 +146,7 @@ mod tests {
     use fastframe_store::column::Column;
     use fastframe_store::expr::Expr;
     use fastframe_store::predicate::Predicate;
+    use fastframe_store::scramble::Scramble;
     use fastframe_store::table::Table;
 
     fn scramble() -> Scramble {

@@ -2,7 +2,7 @@
 //! executors, so callers (benches, correctness harnesses, serving layers)
 //! can swap one for the other without changing the call site.
 
-use fastframe_store::scramble::Scramble;
+use fastframe_store::source::BlockSource;
 
 use crate::config::EngineConfig;
 use crate::error::EngineResult;
@@ -12,12 +12,12 @@ use crate::progressive::Budget;
 use crate::query::AggQuery;
 use crate::result::QueryResult;
 
-/// Executes an [`AggQuery`] over a [`Scramble`] and produces a
-/// [`QueryResult`] — implemented by both the early-terminating approximate
-/// executor and the exact full-scan baseline.
+/// Executes an [`AggQuery`] over a [`BlockSource`] (in-memory scramble or
+/// on-disk segment) and produces a [`QueryResult`] — implemented by both the
+/// early-terminating approximate executor and the exact full-scan baseline.
 pub trait Execute {
-    /// Runs `query` over `scramble`.
-    fn execute(&self, scramble: &Scramble, query: &AggQuery) -> EngineResult<QueryResult>;
+    /// Runs `query` over `source`.
+    fn execute(&self, source: &dyn BlockSource, query: &AggQuery) -> EngineResult<QueryResult>;
 
     /// Human-readable label for reports and benchmark tables.
     fn label(&self) -> &'static str;
@@ -51,8 +51,8 @@ impl ApproxExecutor {
 }
 
 impl Execute for ApproxExecutor {
-    fn execute(&self, scramble: &Scramble, query: &AggQuery) -> EngineResult<QueryResult> {
-        execute_budgeted(scramble, query, &self.config, &self.budget)
+    fn execute(&self, source: &dyn BlockSource, query: &AggQuery) -> EngineResult<QueryResult> {
+        execute_budgeted(source, query, &self.config, &self.budget)
     }
 
     fn label(&self) -> &'static str {
@@ -65,8 +65,8 @@ impl Execute for ApproxExecutor {
 pub struct ExactExecutor;
 
 impl Execute for ExactExecutor {
-    fn execute(&self, scramble: &Scramble, query: &AggQuery) -> EngineResult<QueryResult> {
-        execute_exact(scramble, query)
+    fn execute(&self, source: &dyn BlockSource, query: &AggQuery) -> EngineResult<QueryResult> {
+        execute_exact(source, query)
     }
 
     fn label(&self) -> &'static str {
@@ -79,6 +79,7 @@ mod tests {
     use super::*;
     use fastframe_store::column::Column;
     use fastframe_store::expr::Expr;
+    use fastframe_store::scramble::Scramble;
     use fastframe_store::table::Table;
 
     fn scramble() -> Scramble {

@@ -27,8 +27,15 @@
 //! scan ([`RoundControl`]). The blocking [`execute_approx`] simply drains
 //! that stream and keeps the finalized [`QueryResult`].
 //!
+//! The executor reads data exclusively through the [`BlockSource`] scan
+//! abstraction: the in-memory [`Scramble`](fastframe_store::scramble::Scramble)
+//! and the on-disk [`SegmentReader`](fastframe_store::persist::SegmentReader)
+//! are interchangeable, and — because the block plan, partition layout, zone
+//! maps and bitmap indexes are identical for a scramble and the segment it
+//! was saved to — produce bit-identical results and `ScanStats`.
+//!
 //! Scanning and aggregation are **parallel**: each round's planned block
-//! list is handed to the partitioned pipeline of [`crate::parallel`], which
+//! list is handed to the partitioned pipeline of `crate::parallel`, which
 //! splits it into thread-count-independent partitions, accumulates partial
 //! aggregate state per partition on a scoped worker pool
 //! ([`EngineConfig::effective_threads`] workers), and merges the partials in
@@ -45,7 +52,7 @@ use fastframe_core::stopping::GroupSnapshot;
 use fastframe_store::block::BlockId;
 use fastframe_store::expr::BoundExpr;
 use fastframe_store::predicate::BoundPredicate;
-use fastframe_store::scramble::Scramble;
+use fastframe_store::source::BlockSource;
 use fastframe_store::stats::ScanStats;
 use fastframe_store::table::Table;
 
@@ -72,7 +79,7 @@ type BatchPlannerFn<'a> =
     dyn FnMut(&[BlockId], Option<&[BlockId]>, &ActiveSet) -> (Vec<bool>, u64) + 'a;
 
 /// A query bound against a particular scramble. Shared read-only with the
-/// scan workers of [`crate::parallel`].
+/// scan workers of `crate::parallel`.
 pub(crate) struct BoundQuery {
     pub(crate) target: BoundExpr,
     pub(crate) predicate: BoundPredicate,
@@ -83,9 +90,11 @@ pub(crate) struct BoundQuery {
     view_parts: usize,
 }
 
-pub(crate) fn bind_query(scramble: &Scramble, query: &AggQuery) -> EngineResult<BoundQuery> {
-    let table = scramble.table();
-    if table.num_rows() == 0 {
+pub(crate) fn bind_query(source: &dyn BlockSource, query: &AggQuery) -> EngineResult<BoundQuery> {
+    // Binding resolves names against the schema table (names, types,
+    // dictionaries); row data is never touched here.
+    let table = source.schema();
+    if source.num_rows() == 0 {
         return Err(EngineError::EmptyScramble);
     }
     let target = query.target.bind(table)?;
@@ -106,7 +115,7 @@ pub(crate) fn bind_query(scramble: &Scramble, query: &AggQuery) -> EngineResult<
 
     let range = match query.aggregate {
         AggregateFunction::Count => (0.0, 1.0),
-        _ => query.target.range_bounds(scramble.catalog())?,
+        _ => query.target.range_bounds(source.catalog())?,
     };
 
     let predicate_eq = query.filter.categorical_equality().and_then(|(col, val)| {
@@ -127,51 +136,53 @@ pub(crate) fn bind_query(scramble: &Scramble, query: &AggQuery) -> EngineResult<
     })
 }
 
+/// The enumerated group universe: view keys in first-appearance order plus
+/// the code-tuple → view-id lookup.
+type GroupUniverse = (Vec<GroupKey>, HashMap<Vec<u32>, usize>);
+
 /// Enumerates the group universe: the distinct code combinations of the
-/// GROUP BY columns that occur in the table. Done once per query from the
-/// dictionary-encoded columns (catalog-style metadata), so it is not counted
-/// against the blocks-fetched metric.
-fn enumerate_groups(
-    table: &Table,
-    group_cols: &[usize],
-) -> (Vec<GroupKey>, HashMap<Vec<u32>, usize>) {
+/// GROUP BY columns that occur in the table, assigned view ids in
+/// first-appearance order over the permuted rows
+/// ([`BlockSource::distinct_group_tuples`] walks blocks `0..n` in storage
+/// order, so an in-memory scramble and the segment it was saved to
+/// enumerate identical universes — a requirement for bit-identical
+/// results). Not counted against the blocks-fetched metric. For lazy
+/// sources the first grouped query pays one full decode pass; the segment
+/// reader memoizes the tuples so later grouped queries do not re-decode the
+/// file.
+fn enumerate_groups(source: &dyn BlockSource, group_cols: &[usize]) -> EngineResult<GroupUniverse> {
     if group_cols.is_empty() {
         let key = GroupKey::global();
         let mut lookup = HashMap::new();
         lookup.insert(Vec::new(), 0);
-        return (vec![key], lookup);
+        return Ok((vec![key], lookup));
     }
 
+    let schema = source.schema();
     let mut lookup: HashMap<Vec<u32>, usize> = HashMap::new();
     let mut keys: Vec<GroupKey> = Vec::new();
-    for row in 0..table.num_rows() {
-        let codes: Vec<u32> = group_cols
+    for codes in source.distinct_group_tuples(group_cols)? {
+        let labels = group_cols
             .iter()
-            .map(|&ci| table.column_at(ci).category_code(row).unwrap_or(u32::MAX))
+            .zip(&codes)
+            .map(|(&ci, &code)| {
+                schema
+                    .column_at(ci)
+                    .dictionary()
+                    .and_then(|d| d.get(code as usize).cloned())
+                    .unwrap_or_else(|| format!("#{code}"))
+            })
             .collect();
-        if !lookup.contains_key(&codes) {
-            let labels = group_cols
-                .iter()
-                .zip(&codes)
-                .map(|(&ci, &code)| {
-                    table
-                        .column_at(ci)
-                        .dictionary()
-                        .and_then(|d| d.get(code as usize).cloned())
-                        .unwrap_or_else(|| format!("#{code}"))
-                })
-                .collect();
-            lookup.insert(codes.clone(), keys.len());
-            keys.push(GroupKey { codes, labels });
-        }
+        lookup.insert(codes.clone(), keys.len());
+        keys.push(GroupKey { codes, labels });
     }
-    (keys, lookup)
+    Ok((keys, lookup))
 }
 
 /// Maps a row's group-by dictionary codes to its aggregate-view id without
 /// any per-row heap allocation (the per-row cost of this lookup is on the
 /// critical path of every fetched block). Shared read-only with the scan
-/// workers of [`crate::parallel`]; the per-worker scratch key is passed in
+/// workers of `crate::parallel`; the per-worker scratch key is passed in
 /// by the caller.
 pub(crate) enum GroupLookup {
     /// Ungrouped query: everything routes to the single global view.
@@ -252,7 +263,7 @@ impl GroupLookup {
 }
 
 /// Mutable scan state owned by the coordinating thread. Workers never touch
-/// it: they report [`crate::parallel::PartitionPartial`]s that are merged in
+/// it: they report `crate::parallel::PartitionPartial`s that are merged in
 /// here between rounds.
 struct ScanState {
     views: Vec<AggregateView>,
@@ -327,63 +338,63 @@ impl ProgressiveSink<'_, '_> {
 /// stopping condition is satisfied or the scramble is exhausted — the
 /// drained form of the progressive stream, with an unlimited [`Budget`].
 pub fn execute_approx(
-    scramble: &Scramble,
+    source: &dyn BlockSource,
     query: &AggQuery,
     config: &EngineConfig,
 ) -> EngineResult<QueryResult> {
-    execute_budgeted(scramble, query, config, &Budget::unlimited())
+    execute_budgeted(source, query, config, &Budget::unlimited())
 }
 
 /// Executes `query` approximately with early stopping and the caps of
 /// `budget`, blocking for the final (possibly unconverged) result. No
 /// per-round snapshots are materialized.
 pub fn execute_budgeted(
-    scramble: &Scramble,
+    source: &dyn BlockSource,
     query: &AggQuery,
     config: &EngineConfig,
     budget: &Budget,
 ) -> EngineResult<QueryResult> {
-    run_progressive(scramble, query, config, budget, None).map(ProgressiveResult::into_result)
+    run_progressive(source, query, config, budget, None).map(ProgressiveResult::into_result)
 }
 
-/// Executes an approximate query over a scramble progressively: after every
-/// OptStop round the current per-group state is snapshotted, appended to the
-/// returned [`ProgressiveResult`], and offered to `observer`, which may stop
-/// the scan. The caps of `budget` are enforced during the scan; a cancelled
-/// execution finalizes the current (valid, unconverged) state rather than
-/// erroring.
+/// Executes an approximate query over a block source progressively: after
+/// every OptStop round the current per-group state is snapshotted, appended
+/// to the returned [`ProgressiveResult`], and offered to `observer`, which
+/// may stop the scan. The caps of `budget` are enforced during the scan; a
+/// cancelled execution finalizes the current (valid, unconverged) state
+/// rather than erroring.
 pub fn execute_progressive(
-    scramble: &Scramble,
+    source: &dyn BlockSource,
     query: &AggQuery,
     config: &EngineConfig,
     budget: &Budget,
     observer: &mut RoundObserver<'_>,
 ) -> EngineResult<ProgressiveResult> {
-    run_progressive(scramble, query, config, budget, Some(observer))
+    run_progressive(source, query, config, budget, Some(observer))
 }
 
 /// Shared implementation of the blocking and progressive execution modes:
 /// `observer` being `None` selects blocking mode, which skips snapshot
 /// materialization entirely.
 fn run_progressive(
-    scramble: &Scramble,
+    source: &dyn BlockSource,
     query: &AggQuery,
     config: &EngineConfig,
     budget: &Budget,
     observer: Option<&mut RoundObserver<'_>>,
 ) -> EngineResult<ProgressiveResult> {
     let start_time = Instant::now();
-    let bound = bind_query(scramble, query)?;
-    let table = scramble.table();
-    let scramble_rows = scramble.num_rows() as u64;
+    let bound = bind_query(source, query)?;
+    let schema = source.schema();
+    let scramble_rows = source.num_rows() as u64;
 
     // δ budgeting: split across aggregate views (union bound, §4.1).
     let view_budget =
         DeltaBudget::new(DeltaBudget::new(config.delta)?.split_even(bound.view_parts))?;
 
     // Group universe and per-group views.
-    let (keys, view_lookup) = enumerate_groups(table, &bound.group_cols);
-    let lookup = GroupLookup::build(&bound.group_cols, table, view_lookup);
+    let (keys, view_lookup) = enumerate_groups(source, &bound.group_cols)?;
+    let lookup = GroupLookup::build(&bound.group_cols, schema, view_lookup);
     let views: Vec<AggregateView> = keys
         .into_iter()
         .enumerate()
@@ -392,7 +403,7 @@ fn run_progressive(
     let ever_inactive = vec![false; views.len()];
 
     // Scan order: all blocks starting from a pseudo-random position (§5.2).
-    let num_blocks = scramble.num_blocks();
+    let num_blocks = source.num_blocks();
     let start_block = config.start_block.unwrap_or_else(|| {
         // Cheap deterministic hash of the seed; uniform enough for a start
         // offset and keeps the engine free of an RNG dependency.
@@ -402,9 +413,9 @@ fn run_progressive(
             .rotate_left(17) as usize)
             % num_blocks.max(1)
     });
-    let blocks: Vec<BlockId> = scramble.layout().blocks_from(start_block).collect();
+    let blocks: Vec<BlockId> = source.layout().blocks_from(start_block).collect();
 
-    let block_size = scramble.layout().block_size().max(1);
+    let block_size = source.layout().block_size().max(1);
     let round_blocks = ((config.round_rows as usize).div_ceil(block_size)).max(1);
     let batch_size = config.lookahead_batch.max(1);
 
@@ -436,7 +447,7 @@ fn run_progressive(
     // to the per-round partition cap), so metrics report reality.
     let threads = crate::parallel::effective_pool_size(config.effective_threads());
     let scan_ctx = ScanContext {
-        scramble,
+        source,
         bound: &bound,
         aggregate: query.aggregate,
         bounder: config.bounder,
@@ -444,13 +455,17 @@ fn run_progressive(
         num_views,
     };
 
+    // Numeric range conjuncts feed zone-map block skipping (all strategies).
+    let range_filters = query.filter.range_filters();
+
     // Run the scan loop with the strategy-appropriate batch planner.
     match config.strategy {
         SamplingStrategy::Scan | SamplingStrategy::ActiveSync => {
             let ctx = PlanContext::new(
-                scramble,
+                source,
                 &query.group_by,
                 bound.predicate_eq.clone(),
+                &range_filters,
                 config.strategy,
             );
             let mut planner = |chunk: &[BlockId], _next: Option<&[BlockId]>, active: &ActiveSet| {
@@ -458,7 +473,7 @@ fn run_progressive(
             };
             with_round_executor(&scan_ctx, threads, |rexec| {
                 run_scan_loop(
-                    scramble,
+                    source,
                     query,
                     config,
                     &view_budget,
@@ -475,15 +490,17 @@ fn run_progressive(
         }
         SamplingStrategy::ActivePeek => {
             let worker_ctx = PlanContext::new(
-                scramble,
+                source,
                 &query.group_by,
                 bound.predicate_eq.clone(),
+                &range_filters,
                 config.strategy,
             );
             let fallback_ctx = PlanContext::new(
-                scramble,
+                source,
                 &query.group_by,
                 bound.predicate_eq.clone(),
+                &range_filters,
                 config.strategy,
             );
             let (mut peek, worker) = PeekPlanner::new(worker_ctx);
@@ -501,7 +518,7 @@ fn run_progressive(
                     };
                 let out = with_round_executor(&scan_ctx, threads, |rexec| {
                     run_scan_loop(
-                        scramble,
+                        source,
                         query,
                         config,
                         &view_budget,
@@ -574,7 +591,7 @@ fn run_progressive(
 /// the round fills up.
 #[allow(clippy::too_many_arguments)]
 fn run_scan_loop(
-    scramble: &Scramble,
+    source: &dyn BlockSource,
     query: &AggQuery,
     config: &EngineConfig,
     view_budget: &DeltaBudget,
@@ -621,7 +638,7 @@ fn run_scan_loop(
 
         for (offset, &block) in chunk.iter().enumerate() {
             let fetch = decisions.get(offset).copied().unwrap_or(true);
-            let rows = scramble.block_rows(block);
+            let rows = source.block_rows(block);
             let block_rows = (rows.end - rows.start) as u64;
             if !fetch {
                 state.record_skipped_block(block_rows);
@@ -633,7 +650,7 @@ fn run_scan_loop(
                     // Blocks already granted fit under the cap; scan them so
                     // the finalized answer uses every row the budget paid
                     // for.
-                    merge_pending(scramble, rexec, &mut pending, state);
+                    merge_pending(source, rexec, &mut pending, state)?;
                     break 'batches;
                 }
             }
@@ -641,7 +658,7 @@ fn run_scan_loop(
             pending.push(block);
 
             if pending.len() >= round_blocks {
-                merge_pending(scramble, rexec, &mut pending, state);
+                merge_pending(source, rexec, &mut pending, state)?;
                 let (satisfied, group_snapshots) =
                     evaluate_round(query, config, view_budget, scramble_rows, state)?;
                 let mut control = RoundControl::Continue;
@@ -679,7 +696,7 @@ fn run_scan_loop(
     // finalization sees every scanned row. (On cancellation the pending list
     // is either already merged — row budget — or intentionally dropped.)
     if sink.cancellation.is_none() {
-        merge_pending(scramble, rexec, &mut pending, state);
+        merge_pending(source, rexec, &mut pending, state)?;
     }
     Ok(())
 }
@@ -693,21 +710,25 @@ fn run_scan_loop(
 /// A lost, duplicated or miscounted partition therefore shows up as a
 /// divergence between the two — the invariant the end-to-end tests assert.
 fn merge_pending(
-    scramble: &Scramble,
+    source: &dyn BlockSource,
     rexec: &RoundExecutor<'_>,
     pending: &mut Vec<BlockId>,
     state: &mut ScanState,
-) {
+) -> EngineResult<()> {
     if pending.is_empty() {
-        return;
+        return Ok(());
     }
+    // The round is executed before any counter moves: a block-read failure
+    // (storage rot caught mid-scan) fails the query without half-recorded
+    // fetch statistics.
+    let partials = rexec.execute_round(pending)?;
     for &block in pending.iter() {
-        let rows = scramble.block_rows(block);
+        let rows = source.block_rows(block);
         let block_rows = (rows.end - rows.start) as u64;
         state.stats.record_fetch(block_rows);
         state.rows_scanned += block_rows;
     }
-    for partial in rexec.execute_round(pending) {
+    for partial in partials {
         state.exec.merge(&partial.exec);
         for vp in partial.views {
             // `ScanStats::rows_matched` is rebuilt from the per-view deltas
@@ -719,6 +740,7 @@ fn merge_pending(
         }
     }
     pending.clear();
+    Ok(())
 }
 
 /// Packages the group snapshots of one completed round into a public
@@ -799,6 +821,7 @@ mod tests {
     use fastframe_store::column::Column;
     use fastframe_store::expr::Expr;
     use fastframe_store::predicate::Predicate;
+    use fastframe_store::scramble::Scramble;
     use fastframe_store::table::Table;
 
     /// A small synthetic table: 20_000 rows, three airlines with well

@@ -30,6 +30,12 @@
 //!    [`Budget`] (row cap, round cap, wall-clock deadline), so callers can
 //!    render online-aggregation UIs or stop early with a valid answer.
 //!
+//! Tables persist across process runs: [`Session::save_table`] writes a
+//! registered scramble to a checksummed columnar segment file and
+//! [`Session::open_table`] re-serves it lazily (blocks decode on demand via
+//! the `BlockSource` abstraction), with bit-identical query results either
+//! way.
+//!
 //! ```
 //! use fastframe_engine::prelude::*;
 //! use fastframe_store::prelude::*;

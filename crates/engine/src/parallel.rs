@@ -26,7 +26,7 @@
 use fastframe_core::bounder::{BounderKind, BoxedEstimator};
 
 use fastframe_store::block::BlockId;
-use fastframe_store::scramble::Scramble;
+use fastframe_store::source::BlockSource;
 
 use crate::executor::{BoundQuery, GroupLookup};
 use crate::metrics::ExecMetrics;
@@ -57,8 +57,8 @@ pub(crate) fn effective_pool_size(threads: usize) -> usize {
 /// Everything a scan worker needs to process a partition: shared, read-only
 /// per-query state.
 pub(crate) struct ScanContext<'a> {
-    /// The scramble under scan.
-    pub scramble: &'a Scramble,
+    /// The block source under scan (in-memory scramble or on-disk segment).
+    pub source: &'a dyn BlockSource,
     /// The bound query (predicate, target expression, group columns).
     pub bound: &'a BoundQuery,
     /// The query's aggregate function.
@@ -89,6 +89,9 @@ pub(crate) struct PartitionPartial {
     pub exec: ExecMetrics,
     /// Touched views in ascending view-id order.
     pub views: Vec<ViewPartial>,
+    /// A block read failure (I/O error or chunk corruption detected mid
+    /// scan); the coordinator fails the query with it instead of merging.
+    pub error: Option<fastframe_store::table::StoreError>,
     /// The payload of a panic raised during the worker's scan, carried back
     /// so the coordinator can resume it with its original message.
     pub panic: Option<Box<dyn std::any::Any + Send>>,
@@ -147,20 +150,34 @@ impl PartialViews {
 }
 
 /// Scans one partition's blocks in block order, producing its partial.
+///
+/// Blocks are obtained through [`BlockSource::read_block`]: a zero-copy view
+/// for in-memory scrambles, an on-demand decode for segment readers. A read
+/// failure mid-scan (file truncated or rotted *after* open-time validation
+/// passed) stops the partition and is carried back in the partial; the
+/// coordinator fails the whole query with it, so callers get an
+/// `EngineResult::Err` instead of a crash.
 pub(crate) fn scan_partition(
     ctx: &ScanContext<'_>,
     index: usize,
     blocks: &[BlockId],
 ) -> PartitionPartial {
-    let table = ctx.scramble.table();
     let mut views = PartialViews::new(ctx.num_views);
     let mut scratch: Vec<u32> = Vec::with_capacity(4);
     let mut exec = ExecMetrics::default();
+    let mut error = None;
 
     for &block in blocks {
-        let rows = ctx.scramble.block_rows(block);
-        exec.record_block((rows.end - rows.start) as u64);
-        for row in rows {
+        let block_ref = match ctx.source.read_block(block) {
+            Ok(b) => b,
+            Err(e) => {
+                error = Some(e);
+                break;
+            }
+        };
+        let table = block_ref.table();
+        exec.record_block(block_ref.len() as u64);
+        for row in block_ref.rows() {
             if !ctx.bound.predicate.matches(table, row) {
                 continue;
             }
@@ -185,6 +202,7 @@ pub(crate) fn scan_partition(
         index,
         exec,
         views: views.into_sorted(),
+        error,
         panic: None,
     }
 }
@@ -212,9 +230,17 @@ pub(crate) struct RoundExecutor<'a> {
 impl RoundExecutor<'_> {
     /// Scans every partition of `blocks` and returns the partials in
     /// partition (block-id) order, ready for an in-order merge.
-    pub fn execute_round(&self, blocks: &[BlockId]) -> Vec<PartitionPartial> {
+    ///
+    /// # Errors
+    ///
+    /// The first block-read failure any partition hit (storage rot detected
+    /// after open-time validation); no partial state is merged in that case.
+    pub fn execute_round(
+        &self,
+        blocks: &[BlockId],
+    ) -> Result<Vec<PartitionPartial>, fastframe_store::table::StoreError> {
         if blocks.is_empty() {
-            return Vec::new();
+            return Ok(Vec::new());
         }
         let psize = partition_size(blocks.len());
         let chunks: Vec<&[BlockId]> = blocks.chunks(psize).collect();
@@ -258,7 +284,13 @@ impl RoundExecutor<'_> {
             // context it carries survive the thread hop.
             std::panic::resume_unwind(payload);
         }
-        partials
+        // Fail the round on the first partition error, in partition order so
+        // the reported block is deterministic.
+        let mut partials = partials;
+        if let Some(error) = partials.iter_mut().find_map(|p| p.error.take()) {
+            return Err(error);
+        }
+        Ok(partials)
     }
 }
 
@@ -292,6 +324,7 @@ pub(crate) fn with_round_executor<R>(
                         index: job.index,
                         exec: ExecMetrics::default(),
                         views: Vec::new(),
+                        error: None,
                         panic: Some(payload),
                     });
                     if results.send(partial).is_err() {

@@ -16,8 +16,15 @@
 //! [`plan_batch`] contains the shared decision logic; [`PeekPlanner`] adds the
 //! double-buffered worker pipeline used by `ActivePeek`.
 //!
+//! Independently of the strategy, two predicate-level pruning mechanisms
+//! apply to every block: the categorical equality bitmap (as before) and
+//! per-block **zone maps** for numeric range conjuncts (`DepTime > $t`
+//! fetches no block whose `[min, max]` sits entirely at or below `$t`).
+//! Both work through the [`BlockSource`] metadata surface, so in-memory
+//! scrambles and on-disk segments plan identically.
+//!
 //! Planning composes with the partitioned scan pipeline of
-//! [`crate::parallel`]: the planner (inline or lookahead) decides *which*
+//! `crate::parallel`: the planner (inline or lookahead) decides *which*
 //! blocks a round fetches, and the worker pool then scans the granted
 //! blocks. Decisions depend only on the active set at plan time — never on
 //! worker scheduling — so the planned block sequence, and with it every
@@ -27,7 +34,8 @@ use crossbeam::channel::{bounded, Receiver, Sender};
 
 use fastframe_store::bitmap::BlockBitmapIndex;
 use fastframe_store::block::BlockId;
-use fastframe_store::scramble::Scramble;
+use fastframe_store::source::BlockSource;
+use fastframe_store::zone::{RangeFilter, ZoneMap};
 
 pub use crate::config::SamplingStrategy;
 
@@ -75,30 +83,43 @@ pub struct PlanContext<'a> {
     /// Bitmap index and code for a categorical equality predicate, if the
     /// query has one on an indexed column.
     pub predicate_index: Option<(&'a BlockBitmapIndex, u32)>,
+    /// Zone maps and range filters for the query's numeric range conjuncts,
+    /// in predicate extraction order (only conjuncts whose column has a zone
+    /// map; the rest cannot rule blocks out).
+    pub zone_filters: Vec<(&'a ZoneMap, RangeFilter)>,
     /// Whether group-level (active-scanning) skipping is enabled.
     pub use_active_skipping: bool,
 }
 
 impl<'a> PlanContext<'a> {
-    /// Builds the planning context for a query over `scramble`.
+    /// Builds the planning context for a query over `source`.
     ///
     /// `group_columns` are the GROUP BY column names; `predicate_eq` is the
-    /// `(column, code)` of a categorical equality predicate if one exists.
+    /// `(column, code)` of a categorical equality predicate if one exists;
+    /// `range_filters` are the predicate's numeric range conjuncts (see
+    /// [`fastframe_store::predicate::Predicate::range_filters`]), matched
+    /// here against the source's zone maps.
     pub fn new(
-        scramble: &'a Scramble,
+        source: &'a dyn BlockSource,
         group_columns: &[String],
         predicate_eq: Option<(String, u32)>,
+        range_filters: &[(String, RangeFilter)],
         strategy: SamplingStrategy,
     ) -> Self {
         let group_indexes = group_columns
             .iter()
-            .map(|c| scramble.bitmap_index(c))
+            .map(|c| source.bitmap_index(c))
             .collect();
         let predicate_index =
-            predicate_eq.and_then(|(col, code)| scramble.bitmap_index(&col).map(|idx| (idx, code)));
+            predicate_eq.and_then(|(col, code)| source.bitmap_index(&col).map(|idx| (idx, code)));
+        let zone_filters = range_filters
+            .iter()
+            .filter_map(|(col, filter)| source.zone_map(col).map(|z| (z, *filter)))
+            .collect();
         Self {
             group_indexes,
             predicate_index,
+            zone_filters,
             use_active_skipping: matches!(
                 strategy,
                 SamplingStrategy::ActiveSync | SamplingStrategy::ActivePeek
@@ -107,7 +128,8 @@ impl<'a> PlanContext<'a> {
     }
 
     /// Decides whether `block` must be fetched given the current active set.
-    /// Also returns the number of bitmap probes performed.
+    /// Also returns the number of index probes performed (bitmap lookups and
+    /// zone-map overlap tests alike).
     pub fn block_decision(&self, block: BlockId, active: &ActiveSet) -> (bool, u64) {
         let mut checks = 0u64;
 
@@ -115,6 +137,16 @@ impl<'a> PlanContext<'a> {
         if let Some((idx, code)) = self.predicate_index {
             checks += 1;
             if !idx.block_contains(code, block) {
+                return (false, checks);
+            }
+        }
+
+        // Zone-map skipping for numeric range conjuncts, likewise
+        // strategy-independent: a block whose [min, max] misses a conjunct's
+        // range contains no matching row.
+        for (zone, filter) in &self.zone_filters {
+            checks += 1;
+            if !zone.block_may_match(block, *filter) {
                 return (false, checks);
             }
         }
@@ -253,6 +285,7 @@ impl PeekPlanner {
 mod tests {
     use super::*;
     use fastframe_store::column::Column;
+    use fastframe_store::scramble::Scramble;
     use fastframe_store::table::Table;
 
     /// 200 rows, block size 25 → 8 blocks. Group column `g` has value "hot"
@@ -291,7 +324,7 @@ mod tests {
     fn scan_strategy_only_uses_predicate_index() {
         let s = scramble();
         let g_code = s.table().column("g").unwrap().code_of("hot").unwrap();
-        let ctx = PlanContext::new(&s, &["g".to_string()], None, SamplingStrategy::Scan);
+        let ctx = PlanContext::new(&s, &["g".to_string()], None, &[], SamplingStrategy::Scan);
         // Even with an "initialized" active set that excludes everything,
         // Scan fetches every block.
         let active = ActiveSet::of(vec![]);
@@ -308,7 +341,7 @@ mod tests {
         let s = scramble();
         let p_code = s.table().column("p").unwrap().code_of("yes").unwrap();
         for strategy in SamplingStrategy::ALL {
-            let ctx = PlanContext::new(&s, &[], Some(("p".to_string(), p_code)), strategy);
+            let ctx = PlanContext::new(&s, &[], Some(("p".to_string(), p_code)), &[], strategy);
             let blocks: Vec<BlockId> = (0..s.num_blocks()).map(BlockId).collect();
             let (decisions, checks) = plan_batch(&ctx, &blocks, &ActiveSet::all_active());
             // "yes" appears in every block with overwhelming probability
@@ -326,7 +359,13 @@ mod tests {
     fn active_skipping_matches_bitmap_membership() {
         let s = scramble();
         let hot = s.table().column("g").unwrap().code_of("hot").unwrap();
-        let ctx = PlanContext::new(&s, &["g".to_string()], None, SamplingStrategy::ActiveSync);
+        let ctx = PlanContext::new(
+            &s,
+            &["g".to_string()],
+            None,
+            &[],
+            SamplingStrategy::ActiveSync,
+        );
         let active = ActiveSet::of(vec![vec![hot]]);
         let blocks: Vec<BlockId> = (0..s.num_blocks()).map(BlockId).collect();
         let (decisions, _) = plan_batch(&ctx, &blocks, &active);
@@ -344,9 +383,50 @@ mod tests {
     }
 
     #[test]
+    fn zone_map_skipping_matches_block_ranges() {
+        let s = scramble();
+        // The scramble's "x" column is 0..200 permuted; with 8 blocks, each
+        // block's zone range is known from the data itself.
+        let filters = vec![(
+            "x".to_string(),
+            fastframe_store::zone::RangeFilter::Gt(150.0),
+        )];
+        let ctx = PlanContext::new(&s, &[], None, &filters, SamplingStrategy::Scan);
+        assert_eq!(ctx.zone_filters.len(), 1);
+        let blocks: Vec<BlockId> = (0..s.num_blocks()).map(BlockId).collect();
+        let (decisions, checks) = plan_batch(&ctx, &blocks, &ActiveSet::all_active());
+        let zone = s.zone_map("x").unwrap();
+        for (i, d) in decisions.iter().enumerate() {
+            let (_, max) = zone.block_range(BlockId(i)).unwrap();
+            assert_eq!(*d, max > 150.0, "block {i}");
+        }
+        assert_eq!(checks, blocks.len() as u64);
+        // A filter nothing satisfies skips every block; an unknown column
+        // has no zone map and cannot skip anything.
+        let filters = vec![("x".to_string(), fastframe_store::zone::RangeFilter::Gt(1e9))];
+        let ctx = PlanContext::new(&s, &[], None, &filters, SamplingStrategy::Scan);
+        let (decisions, _) = plan_batch(&ctx, &blocks, &ActiveSet::all_active());
+        assert!(decisions.iter().all(|&d| !d));
+        let filters = vec![(
+            "missing".to_string(),
+            fastframe_store::zone::RangeFilter::Gt(1e9),
+        )];
+        let ctx = PlanContext::new(&s, &[], None, &filters, SamplingStrategy::Scan);
+        assert!(ctx.zone_filters.is_empty());
+        let (decisions, _) = plan_batch(&ctx, &blocks, &ActiveSet::all_active());
+        assert!(decisions.iter().all(|&d| d));
+    }
+
+    #[test]
     fn uninitialized_active_set_fetches_everything() {
         let s = scramble();
-        let ctx = PlanContext::new(&s, &["g".to_string()], None, SamplingStrategy::ActivePeek);
+        let ctx = PlanContext::new(
+            &s,
+            &["g".to_string()],
+            None,
+            &[],
+            SamplingStrategy::ActivePeek,
+        );
         let blocks: Vec<BlockId> = (0..s.num_blocks()).map(BlockId).collect();
         let (decisions, _) = plan_batch(&ctx, &blocks, &ActiveSet::all_active());
         assert!(decisions.iter().all(|&d| d));
@@ -355,7 +435,13 @@ mod tests {
     #[test]
     fn empty_active_set_skips_everything() {
         let s = scramble();
-        let ctx = PlanContext::new(&s, &["g".to_string()], None, SamplingStrategy::ActiveSync);
+        let ctx = PlanContext::new(
+            &s,
+            &["g".to_string()],
+            None,
+            &[],
+            SamplingStrategy::ActiveSync,
+        );
         let blocks: Vec<BlockId> = (0..s.num_blocks()).map(BlockId).collect();
         let (decisions, _) = plan_batch(&ctx, &blocks, &ActiveSet::of(vec![]));
         assert!(decisions.iter().all(|&d| !d));
@@ -383,6 +469,7 @@ mod tests {
             &s,
             &["c1".to_string(), "c2".to_string()],
             None,
+            &[],
             SamplingStrategy::ActiveSync,
         );
         // Group (a0, b3) does not exist in the data (a0 covers rows 0..50,
@@ -407,10 +494,22 @@ mod tests {
         let blocks: Vec<BlockId> = (0..s.num_blocks()).map(BlockId).collect();
         let active = ActiveSet::of(vec![vec![hot]]);
 
-        let sync_ctx = PlanContext::new(&s, &["g".to_string()], None, SamplingStrategy::ActiveSync);
+        let sync_ctx = PlanContext::new(
+            &s,
+            &["g".to_string()],
+            None,
+            &[],
+            SamplingStrategy::ActiveSync,
+        );
         let (expected, _) = plan_batch(&sync_ctx, &blocks, &active);
 
-        let peek_ctx = PlanContext::new(&s, &["g".to_string()], None, SamplingStrategy::ActivePeek);
+        let peek_ctx = PlanContext::new(
+            &s,
+            &["g".to_string()],
+            None,
+            &[],
+            SamplingStrategy::ActivePeek,
+        );
         let (mut planner, worker) = PeekPlanner::new(peek_ctx);
         std::thread::scope(|scope| {
             scope.spawn(worker);

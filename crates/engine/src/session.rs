@@ -37,12 +37,15 @@
 //! [`Budget`].
 
 use std::collections::BTreeMap;
+use std::path::Path;
 
 use fastframe_core::stopping::StoppingCondition;
 use fastframe_store::block::DEFAULT_BLOCK_SIZE;
 use fastframe_store::expr::Expr;
+use fastframe_store::persist::{write_segment, SegmentReader};
 use fastframe_store::predicate::Predicate;
 use fastframe_store::scramble::Scramble;
+use fastframe_store::source::BlockSource;
 use fastframe_store::table::Table;
 
 use crate::config::EngineConfig;
@@ -57,6 +60,7 @@ use crate::result::QueryResult;
 /// Per-table scramble construction options: permutation seed, block size and
 /// catalog range slack.
 #[derive(Debug, Clone, PartialEq)]
+#[must_use = "TableOptions is a builder: pass it to `register_with` (dropping it does nothing)"]
 pub struct TableOptions {
     /// Seed of the scramble permutation.
     pub seed: u64,
@@ -96,11 +100,33 @@ impl TableOptions {
     }
 }
 
-/// A multi-table FastFrame session: a named catalog of scrambles and shared
-/// [`EngineConfig`] defaults with per-query overrides.
+/// One registered table: either an in-memory scramble or a lazily-decoded
+/// on-disk segment. Both serve the engine through [`BlockSource`], so every
+/// query mode works identically against either backing.
+#[derive(Debug, Clone)]
+enum TableEntry {
+    /// A fully resident scramble (registered via [`Session::register`]).
+    Memory(Scramble),
+    /// A segment opened from disk (registered via [`Session::open_table`]);
+    /// blocks are decoded on demand, so the table may exceed RAM.
+    Segment(SegmentReader),
+}
+
+impl TableEntry {
+    fn source(&self) -> &dyn BlockSource {
+        match self {
+            TableEntry::Memory(s) => s,
+            TableEntry::Segment(r) => r,
+        }
+    }
+}
+
+/// A multi-table FastFrame session: a named catalog of scrambles (in-memory
+/// or segment-backed) and shared [`EngineConfig`] defaults with per-query
+/// overrides.
 #[derive(Debug, Clone, Default)]
 pub struct Session {
-    tables: BTreeMap<String, Scramble>,
+    tables: BTreeMap<String, TableEntry>,
     defaults: EngineConfig,
 }
 
@@ -161,14 +187,54 @@ impl Session {
         if self.tables.contains_key(&name) {
             return Err(EngineError::DuplicateTable { name });
         }
-        self.tables.insert(name, scramble);
+        self.tables.insert(name, TableEntry::Memory(scramble));
         Ok(())
     }
 
-    /// Drops a registered table, returning its scramble.
-    pub fn drop_table(&mut self, name: &str) -> EngineResult<Scramble> {
+    /// Opens a scramble segment file (written by [`Session::save_table`] or
+    /// [`fastframe_store::persist::write_segment`]) and registers it under
+    /// `name` as a *segment-backed* table: block data stays on disk and is
+    /// decoded on demand, so the table may be larger than memory. Queries
+    /// against it behave identically to the in-memory scramble it was saved
+    /// from — bit-identical estimates, CI bounds and scan statistics.
+    pub fn open_table(
+        &mut self,
+        name: impl Into<String>,
+        path: impl AsRef<Path>,
+    ) -> EngineResult<()> {
+        let name = name.into();
+        if self.tables.contains_key(&name) {
+            return Err(EngineError::DuplicateTable { name });
+        }
+        let reader = SegmentReader::open(path)?;
+        self.tables.insert(name, TableEntry::Segment(reader));
+        Ok(())
+    }
+
+    /// Saves the in-memory scramble registered under `name` to a segment
+    /// file at `path` (created or replaced). The file can be re-served by
+    /// [`Session::open_table`] in any later process, amortizing the shuffle
+    /// cost across runs.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::SegmentBacked`] if the table is itself already backed
+    /// by a segment (the file already exists — copy it instead), alongside
+    /// the usual unknown-table and I/O errors.
+    pub fn save_table(&self, name: &str, path: impl AsRef<Path>) -> EngineResult<()> {
+        match self.entry(name)? {
+            TableEntry::Memory(scramble) => Ok(write_segment(scramble, path)?),
+            TableEntry::Segment(_) => Err(EngineError::SegmentBacked {
+                name: name.to_string(),
+            }),
+        }
+    }
+
+    /// Drops a registered table (in-memory or segment-backed).
+    pub fn drop_table(&mut self, name: &str) -> EngineResult<()> {
         self.tables
             .remove(name)
+            .map(|_| ())
             .ok_or_else(|| EngineError::UnknownTable {
                 name: name.to_string(),
             })
@@ -194,13 +260,34 @@ impl Session {
         self.tables.is_empty()
     }
 
-    /// The scramble registered under `name`.
-    pub fn scramble(&self, name: &str) -> EngineResult<&Scramble> {
+    fn entry(&self, name: &str) -> EngineResult<&TableEntry> {
         self.tables
             .get(name)
             .ok_or_else(|| EngineError::UnknownTable {
                 name: name.to_string(),
             })
+    }
+
+    /// The block source registered under `name` — in-memory scramble and
+    /// on-disk segment alike.
+    pub fn source(&self, name: &str) -> EngineResult<&dyn BlockSource> {
+        Ok(self.entry(name)?.source())
+    }
+
+    /// The in-memory scramble registered under `name`.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::SegmentBacked`] for tables registered via
+    /// [`Session::open_table`] — their data lives on disk; use
+    /// [`Session::source`] for backing-agnostic access.
+    pub fn scramble(&self, name: &str) -> EngineResult<&Scramble> {
+        match self.entry(name)? {
+            TableEntry::Memory(scramble) => Ok(scramble),
+            TableEntry::Segment(_) => Err(EngineError::SegmentBacked {
+                name: name.to_string(),
+            }),
+        }
     }
 
     /// Starts a fluent query against the table registered under `name`.
@@ -226,10 +313,10 @@ impl Session {
     /// defaults. This is the bridge for code that assembles [`AggQuery`]
     /// values directly (e.g. the workload templates).
     pub fn prepare(&self, table: &str, query: &AggQuery) -> EngineResult<PreparedQuery<'_>> {
-        let scramble = self.scramble(table)?;
-        validate(scramble, query)?;
+        let source = self.source(table)?;
+        validate(source, query)?;
         Ok(PreparedQuery {
-            scramble,
+            source,
             query: query.clone(),
             config: self.defaults.clone(),
             budget: Budget::unlimited(),
@@ -237,22 +324,23 @@ impl Session {
     }
 }
 
-/// Type-checks `query` against the scramble's table by running the
+/// Type-checks `query` against the source's schema by running the
 /// executor's own binding step (and discarding the bound artifacts): every
 /// referenced column must exist with a compatible type, GROUP BY columns
 /// must be categorical, the target's range bounds must be derivable from the
-/// catalog, and the scramble must be non-empty. Reusing the executor's
+/// catalog, and the table must be non-empty. Reusing the executor's
 /// binder keeps build-time validation in lockstep with execution — anything
 /// that would fail to bind fails here first, on catalog metadata only (no
 /// blocks are read).
-fn validate(scramble: &Scramble, query: &AggQuery) -> EngineResult<()> {
-    crate::executor::bind_query(scramble, query).map(|_| ())
+fn validate(source: &dyn BlockSource, query: &AggQuery) -> EngineResult<()> {
+    crate::executor::bind_query(source, query).map(|_| ())
 }
 
 /// A fluent, catalog-checked builder for aggregate queries over one session
 /// table. Obtained from [`Session::query`]; finalized by [`Self::build`] or
 /// one of the terminal execution helpers.
 #[derive(Debug, Clone)]
+#[must_use = "QueryBuilder does nothing until `build`/`execute`/`progressive`/`stream` is called"]
 pub struct QueryBuilder<'s> {
     session: &'s Session,
     table: String,
@@ -404,7 +492,7 @@ impl<'s> QueryBuilder<'s> {
     /// Finalizes the builder: resolves the table, type-checks every clause
     /// against the catalog, and returns the query prepared for execution.
     pub fn build(self) -> EngineResult<PreparedQuery<'s>> {
-        let scramble = self.session.scramble(&self.table)?;
+        let source = self.session.source(&self.table)?;
         let (aggregate, target) = self.aggregate.ok_or(EngineError::MissingAggregate)?;
         let mut query = self.inner.build();
         query.aggregate = aggregate;
@@ -412,9 +500,9 @@ impl<'s> QueryBuilder<'s> {
         query.name = self
             .name
             .unwrap_or_else(|| format!("{}.{}", self.table, aggregate.to_string().to_lowercase()));
-        validate(scramble, &query)?;
+        validate(source, &query)?;
         Ok(PreparedQuery {
-            scramble,
+            source,
             query,
             config: self.config.unwrap_or_else(|| self.session.defaults.clone()),
             budget: self.budget,
@@ -451,12 +539,23 @@ impl<'s> QueryBuilder<'s> {
 
 /// A query that has been type-checked against a session table and bound to
 /// an effective configuration and budget — ready to run in any mode.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct PreparedQuery<'s> {
-    scramble: &'s Scramble,
+    source: &'s dyn BlockSource,
     query: AggQuery,
     config: EngineConfig,
     budget: Budget,
+}
+
+impl std::fmt::Debug for PreparedQuery<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PreparedQuery")
+            .field("query", &self.query)
+            .field("config", &self.config)
+            .field("budget", &self.budget)
+            .field("source_rows", &self.source.num_rows())
+            .finish()
+    }
 }
 
 impl PreparedQuery<'_> {
@@ -470,9 +569,10 @@ impl PreparedQuery<'_> {
         &self.config
     }
 
-    /// The scramble this query runs over.
-    pub fn scramble(&self) -> &Scramble {
-        self.scramble
+    /// The block source this query runs over (in-memory scramble or on-disk
+    /// segment).
+    pub fn source(&self) -> &dyn BlockSource {
+        self.source
     }
 
     /// Replaces the effective configuration.
@@ -491,12 +591,12 @@ impl PreparedQuery<'_> {
     /// form of the progressive stream (no intermediate snapshots are
     /// materialized).
     pub fn execute(&self) -> EngineResult<QueryResult> {
-        execute_budgeted(self.scramble, &self.query, &self.config, &self.budget)
+        execute_budgeted(self.source, &self.query, &self.config, &self.budget)
     }
 
     /// Executes the `Exact` baseline (full scan, degenerate intervals).
     pub fn execute_exact(&self) -> EngineResult<QueryResult> {
-        execute_exact(self.scramble, &self.query)
+        execute_exact(self.source, &self.query)
     }
 
     /// Executes progressively, collecting every round's [`Snapshot`] into
@@ -514,7 +614,7 @@ impl PreparedQuery<'_> {
     ) -> EngineResult<ProgressiveResult> {
         let observer: &mut RoundObserver<'_> = &mut observer;
         execute_progressive(
-            self.scramble,
+            self.source,
             &self.query,
             &self.config,
             &self.budget,
@@ -530,7 +630,7 @@ impl PreparedQuery<'_> {
     /// [`crate::execute::ApproxExecutor`]), not the ones attached to this
     /// prepared query — use [`Self::execute`] for those.
     pub fn execute_with(&self, executor: &dyn Execute) -> EngineResult<QueryResult> {
-        executor.execute(self.scramble, &self.query)
+        executor.execute(self.source, &self.query)
     }
 }
 
@@ -593,8 +693,7 @@ mod tests {
         assert_eq!(s.scramble("other").unwrap().layout().block_size(), 100);
         assert_eq!(s.table_names(), vec!["flights", "other"]);
 
-        let dropped = s.drop_table("other").unwrap();
-        assert_eq!(dropped.num_rows(), 5_000);
+        s.drop_table("other").unwrap();
         assert!(matches!(
             s.drop_table("other"),
             Err(EngineError::UnknownTable { .. })

@@ -70,10 +70,24 @@ impl BitSet {
         let end = end.min(self.len);
         (start..end).any(|i| self.get(i))
     }
+
+    /// The backing `u64` words (for serialization). Bit `i` lives at
+    /// `words()[i / 64]`, position `i % 64`.
+    pub fn words(&self) -> &[u64] {
+        &self.bits
+    }
+
+    /// Reassembles a bit set from its backing words and bit length (the
+    /// inverse of [`Self::words`]). Panics if `words` is not exactly the
+    /// number of words a `len`-bit set needs.
+    pub fn from_words(words: Vec<u64>, len: usize) -> Self {
+        assert_eq!(words.len(), len.div_ceil(64), "bitset word count mismatch");
+        Self { bits: words, len }
+    }
 }
 
 /// A block-level bitmap index over one categorical column of a scramble.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BlockBitmapIndex {
     column: String,
     /// One bitmap per dictionary code; bit `b` is set iff block `b` contains
@@ -110,6 +124,31 @@ impl BlockBitmapIndex {
             per_value,
             num_blocks,
         })
+    }
+
+    /// Reassembles an index from its raw parts (used when loading a
+    /// persisted segment). Every bitmap must cover exactly `num_blocks`
+    /// bits.
+    pub fn from_parts(
+        column: impl Into<String>,
+        per_value: Vec<BitSet>,
+        num_blocks: usize,
+    ) -> Self {
+        assert!(
+            per_value.iter().all(|bs| bs.len() == num_blocks),
+            "bitmap length mismatch"
+        );
+        Self {
+            column: column.into(),
+            per_value,
+            num_blocks,
+        }
+    }
+
+    /// The per-value bitmaps, indexed by dictionary code (for
+    /// serialization).
+    pub fn value_bitmaps(&self) -> &[BitSet] {
+        &self.per_value
     }
 
     /// Name of the indexed column.

@@ -69,6 +69,15 @@ impl Catalog {
         Self { columns }
     }
 
+    /// Reassembles a catalog from per-column statistics (used when loading a
+    /// persisted segment, whose catalog was computed at write time from the
+    /// original table).
+    pub fn from_stats(stats: impl IntoIterator<Item = ColumnStats>) -> Self {
+        Self {
+            columns: stats.into_iter().map(|s| (s.name.clone(), s)).collect(),
+        }
+    }
+
     /// Statistics for one column.
     pub fn column(&self, name: &str) -> StoreResult<&ColumnStats> {
         self.columns

@@ -89,7 +89,8 @@ pub fn read_csv<R: BufRead>(reader: R, options: &CsvOptions) -> StoreResult<Tabl
     let mut lines = reader.lines();
     let header = match lines.next() {
         Some(Ok(line)) => line,
-        _ => return Err(StoreError::EmptyTable),
+        Some(Err(e)) => return Err(StoreError::io("<reader>", e)),
+        None => return Err(StoreError::EmptyTable),
     };
     let names = split_csv_line(&header);
 
@@ -114,7 +115,7 @@ pub fn read_csv<R: BufRead>(reader: R, options: &CsvOptions) -> StoreResult<Tabl
     };
 
     for line in lines {
-        let line = line.map_err(|_| StoreError::EmptyTable)?;
+        let line = line.map_err(|e| StoreError::io("<reader>", e))?;
         if line.trim().is_empty() {
             continue;
         }
@@ -151,9 +152,21 @@ pub fn read_csv<R: BufRead>(reader: R, options: &CsvOptions) -> StoreResult<Tabl
 }
 
 /// Loads a table from a CSV file on disk.
+///
+/// I/O failures (missing file, permission errors, read errors mid-file) are
+/// reported as [`StoreError::Io`] carrying the offending path; only a file
+/// that parses but contains no data rows yields [`StoreError::EmptyTable`].
 pub fn read_csv_file(path: impl AsRef<Path>, options: &CsvOptions) -> StoreResult<Table> {
-    let file = std::fs::File::open(path.as_ref()).map_err(|_| StoreError::EmptyTable)?;
-    read_csv(std::io::BufReader::new(file), options)
+    let path = path.as_ref();
+    let file = std::fs::File::open(path).map_err(|e| StoreError::io(path, e))?;
+    read_csv(std::io::BufReader::new(file), options).map_err(|e| match e {
+        // Re-attribute reader-level I/O failures to the file being read.
+        StoreError::Io { source, .. } => StoreError::Io {
+            path: path.to_path_buf(),
+            source,
+        },
+        other => other,
+    })
 }
 
 #[cfg(test)]
@@ -267,6 +280,14 @@ mod tests {
         let t = read_csv_file(&path, &CsvOptions::new()).unwrap();
         assert_eq!(t.num_rows(), 4);
         std::fs::remove_file(&path).ok();
-        assert!(read_csv_file(dir.join("does_not_exist.csv"), &CsvOptions::new()).is_err());
+        // A missing file is an Io error carrying the path — not EmptyTable.
+        let missing = dir.join("does_not_exist.csv");
+        match read_csv_file(&missing, &CsvOptions::new()) {
+            Err(StoreError::Io { path, source }) => {
+                assert_eq!(path, missing);
+                assert_eq!(source.kind(), std::io::ErrorKind::NotFound);
+            }
+            other => panic!("expected Io error, got {other:?}"),
+        }
     }
 }

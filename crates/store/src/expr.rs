@@ -4,12 +4,12 @@
 //! Aggregates may target not just a raw column but an expression such as
 //! `AVG((2*c1 + 3*c2 - 1)^2)`. Range-based error bounders then need derived
 //! bounds `[a', b']` enclosing the expression's value over the per-column
-//! catalog ranges. [`BoundExpr::range_bounds`] computes such bounds by
+//! catalog ranges. `Expr::range_bounds` computes such bounds by
 //! interval arithmetic, which is always conservative (the interval result
 //! encloses the true image); for tighter bounds on convex/monotone
 //! expressions, the optimization-based routines in
 //! [`fastframe_core::expr_bounds`] can be applied to
-//! [`BoundExpr::evaluate_vec`] directly.
+//! `BoundExpr::evaluate` directly.
 
 use crate::catalog::Catalog;
 use crate::table::{StoreResult, Table};

@@ -19,7 +19,13 @@
 //! * [`Predicate`]s and scalar [`Expr`]essions with conservative derived
 //!   range bounds (Appendix B);
 //! * [`ScanStats`] counters so that the evaluation can report *blocks
-//!   fetched*, the hardware-independent cost metric of §5.3.
+//!   fetched*, the hardware-independent cost metric of §5.3;
+//! * the [`BlockSource`] scan abstraction ([`source`]) over which the engine
+//!   reads blocks, with per-block [`ZoneMap`]s for numeric range skipping;
+//! * a persistent columnar segment format ([`persist`]) so a scramble's
+//!   one-time shuffle cost is amortized across process runs: [`write_segment`]
+//!   saves a [`Scramble`] to disk and the lazy [`SegmentReader`] decodes
+//!   blocks on demand (see `docs/FORMAT.md` for the byte-level layout).
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -32,10 +38,13 @@ pub mod catalog;
 pub mod column;
 pub mod csv;
 pub mod expr;
+pub mod persist;
 pub mod predicate;
 pub mod scramble;
+pub mod source;
 pub mod stats;
 pub mod table;
+pub mod zone;
 
 pub use bitmap::{BitSet, BlockBitmapIndex};
 pub use block::{BlockId, DEFAULT_BLOCK_SIZE};
@@ -44,10 +53,13 @@ pub use catalog::{Catalog, ColumnStats};
 pub use column::{Column, ColumnData, DataType, Value};
 pub use csv::{read_csv, read_csv_file, CsvOptions};
 pub use expr::{BoundExpr, Expr};
+pub use persist::{write_segment, SegmentReader};
 pub use predicate::{BoundPredicate, Predicate};
 pub use scramble::Scramble;
+pub use source::{BlockRef, BlockSource};
 pub use stats::ScanStats;
 pub use table::{StoreError, StoreResult, Table};
+pub use zone::{RangeFilter, ZoneMap};
 
 /// Convenience re-exports for downstream crates.
 pub mod prelude {
@@ -57,8 +69,11 @@ pub mod prelude {
     pub use crate::catalog::{Catalog, ColumnStats};
     pub use crate::column::{Column, ColumnData, DataType, Value};
     pub use crate::expr::{BoundExpr, Expr};
+    pub use crate::persist::{write_segment, SegmentReader};
     pub use crate::predicate::{BoundPredicate, Predicate};
     pub use crate::scramble::Scramble;
+    pub use crate::source::{BlockRef, BlockSource};
     pub use crate::stats::ScanStats;
     pub use crate::table::{StoreError, StoreResult, Table};
+    pub use crate::zone::{RangeFilter, ZoneMap};
 }

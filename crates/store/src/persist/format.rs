@@ -1,0 +1,457 @@
+//! Low-level byte helpers for the segment format: CRC-32, little-endian
+//! primitives, a bounds-checked cursor, and the per-chunk column encodings.
+//!
+//! Everything here is deterministic: the same scramble always serializes to
+//! the same bytes, so segment files can be compared and cached by content.
+
+use std::ops::Range;
+use std::path::Path;
+use std::sync::Arc;
+
+use crate::column::{Column, ColumnData};
+use crate::table::{StoreError, StoreResult};
+
+/// Magic bytes opening the file and closing the footer.
+pub const MAGIC: [u8; 8] = *b"FFSEGM01";
+
+/// Current format version.
+pub const VERSION: u32 = 1;
+
+/// Size of the fixed header in bytes.
+pub const HEADER_LEN: u64 = 16;
+
+/// Size of the fixed footer in bytes.
+pub const FOOTER_LEN: u64 = 32;
+
+/// Chunk encoding tag: raw little-endian `f64` bits.
+pub const ENC_FLOAT_RAW: u8 = 0;
+
+/// Chunk encoding tag: frame-of-reference + bit-packed `i64`.
+pub const ENC_INT_FOR: u8 = 1;
+
+/// Chunk encoding tag: frame-of-reference + bit-packed `u32` dictionary
+/// codes.
+pub const ENC_CODES_FOR: u8 = 2;
+
+/// Column type tag: `Float64`.
+pub const TYPE_FLOAT: u8 = 0;
+/// Column type tag: `Int64`.
+pub const TYPE_INT: u8 = 1;
+/// Column type tag: `Categorical`.
+pub const TYPE_CAT: u8 = 2;
+
+/// Sentinel for "no cardinality recorded" in serialized column stats.
+pub const NO_CARDINALITY: u64 = u64::MAX;
+
+const CRC_TABLE: [u32; 256] = make_crc_table();
+
+const fn make_crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+/// CRC-32 (ISO-HDLC polynomial, the zlib/PNG variant) of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+/// Appends a `u32` little-endian.
+pub fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a `u64` little-endian.
+pub fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends an `f64` as its raw IEEE-754 bits, little-endian.
+pub fn put_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+/// Appends a length-prefixed UTF-8 string (`u32` length + bytes).
+pub fn put_string(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// A bounds-checked forward reader over a metadata byte slice. Every
+/// truncation or overrun is reported as [`StoreError::Corrupt`] carrying the
+/// file path.
+pub struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    path: &'a Path,
+}
+
+impl<'a> Cursor<'a> {
+    /// A cursor over `buf`, attributing errors to `path`.
+    pub fn new(buf: &'a [u8], path: &'a Path) -> Self {
+        Self { buf, pos: 0, path }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> StoreResult<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(StoreError::corrupt(
+                self.path,
+                format!(
+                    "metadata truncated: wanted {n} bytes at offset {}, {} left",
+                    self.pos,
+                    self.remaining()
+                ),
+            ));
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self) -> StoreResult<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self) -> StoreResult<u32> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self) -> StoreResult<u64> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    /// Reads an `f64` from its raw little-endian bits.
+    pub fn f64(&mut self) -> StoreResult<f64> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn string(&mut self) -> StoreResult<String> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| StoreError::corrupt(self.path, "invalid UTF-8 in string"))
+    }
+}
+
+/// Packs `width`-bit values LSB-first into a little-endian byte stream.
+/// `width == 0` writes nothing (all deltas are zero).
+pub fn pack_bits(values: impl Iterator<Item = u64>, width: u8, out: &mut Vec<u8>) {
+    if width == 0 {
+        return;
+    }
+    debug_assert!(width <= 64);
+    let mut acc: u128 = 0;
+    let mut nbits: u32 = 0;
+    for v in values {
+        debug_assert!(width == 64 || v < (1u64 << width));
+        acc |= (v as u128) << nbits;
+        nbits += width as u32;
+        while nbits >= 8 {
+            out.push((acc & 0xFF) as u8);
+            acc >>= 8;
+            nbits -= 8;
+        }
+    }
+    if nbits > 0 {
+        out.push((acc & 0xFF) as u8);
+    }
+}
+
+/// Unpacks `count` `width`-bit values from a stream produced by
+/// [`pack_bits`]. Returns `None` if `bytes` is too short.
+pub fn unpack_bits(bytes: &[u8], width: u8, count: usize) -> Option<Vec<u64>> {
+    if width == 0 {
+        return Some(vec![0u64; count]);
+    }
+    let needed = (count * width as usize).div_ceil(8);
+    if bytes.len() < needed {
+        return None;
+    }
+    let mut out = Vec::with_capacity(count);
+    let mut acc: u128 = 0;
+    let mut nbits: u32 = 0;
+    let mut next = 0usize;
+    let mask: u128 = if width == 64 {
+        u64::MAX as u128
+    } else {
+        (1u128 << width) - 1
+    };
+    for _ in 0..count {
+        while nbits < width as u32 {
+            acc |= (bytes[next] as u128) << nbits;
+            next += 1;
+            nbits += 8;
+        }
+        out.push((acc & mask) as u64);
+        acc >>= width;
+        nbits -= width as u32;
+    }
+    Some(out)
+}
+
+/// Minimal bit width able to represent `max_delta`.
+fn width_for(max_delta: u64) -> u8 {
+    (64 - max_delta.leading_zeros()) as u8
+}
+
+/// Encodes rows `rows` of `column` into `out`, returning the encoding tag.
+pub fn encode_chunk(column: &Column, rows: Range<usize>, out: &mut Vec<u8>) -> u8 {
+    match column.data() {
+        ColumnData::Float64(values) => {
+            for &v in &values[rows] {
+                put_f64(out, v);
+            }
+            ENC_FLOAT_RAW
+        }
+        ColumnData::Int64(values) => {
+            let slice = &values[rows];
+            let min = slice.iter().copied().min().unwrap_or(0);
+            let max_delta = slice
+                .iter()
+                .map(|&v| v.wrapping_sub(min) as u64)
+                .max()
+                .unwrap_or(0);
+            let width = width_for(max_delta);
+            out.extend_from_slice(&min.to_le_bytes());
+            out.push(width);
+            pack_bits(
+                slice.iter().map(|&v| v.wrapping_sub(min) as u64),
+                width,
+                out,
+            );
+            ENC_INT_FOR
+        }
+        ColumnData::Categorical { codes, .. } => {
+            let slice = &codes[rows];
+            let min = slice.iter().copied().min().unwrap_or(0);
+            let max_delta = slice.iter().map(|&v| (v - min) as u64).max().unwrap_or(0);
+            let width = width_for(max_delta);
+            out.extend_from_slice(&min.to_le_bytes());
+            out.push(width);
+            pack_bits(slice.iter().map(|&v| (v - min) as u64), width, out);
+            ENC_CODES_FOR
+        }
+    }
+}
+
+/// Decodes one chunk back into a [`Column`] of `rows` rows.
+///
+/// `dictionary` must be supplied for categorical chunks (it is stored once
+/// in the segment metadata, not per chunk).
+pub fn decode_chunk(
+    encoding: u8,
+    bytes: &[u8],
+    rows: usize,
+    name: &str,
+    dictionary: Option<&Arc<Vec<String>>>,
+    path: &Path,
+) -> StoreResult<Column> {
+    let corrupt = |detail: String| StoreError::corrupt(path, detail);
+    match encoding {
+        ENC_FLOAT_RAW => {
+            if bytes.len() != rows * 8 {
+                return Err(corrupt(format!(
+                    "float chunk for `{name}`: {} bytes, expected {}",
+                    bytes.len(),
+                    rows * 8
+                )));
+            }
+            let values = bytes
+                .chunks_exact(8)
+                .map(|c| f64::from_bits(u64::from_le_bytes(c.try_into().expect("8 bytes"))))
+                .collect();
+            Ok(Column::float(name, values))
+        }
+        ENC_INT_FOR => {
+            if bytes.len() < 9 {
+                return Err(corrupt(format!("int chunk for `{name}` truncated")));
+            }
+            let min = i64::from_le_bytes(bytes[..8].try_into().expect("8 bytes"));
+            let width = bytes[8];
+            if width > 64 {
+                return Err(corrupt(format!(
+                    "int chunk for `{name}`: impossible bit width {width}"
+                )));
+            }
+            let deltas = unpack_bits(&bytes[9..], width, rows)
+                .ok_or_else(|| corrupt(format!("int chunk for `{name}` truncated")))?;
+            let values = deltas
+                .into_iter()
+                .map(|d| min.wrapping_add(d as i64))
+                .collect();
+            Ok(Column::int(name, values))
+        }
+        ENC_CODES_FOR => {
+            let dictionary = dictionary.ok_or_else(|| {
+                corrupt(format!(
+                    "categorical chunk for `{name}` without a dictionary"
+                ))
+            })?;
+            if bytes.len() < 5 {
+                return Err(corrupt(format!("code chunk for `{name}` truncated")));
+            }
+            let min = u32::from_le_bytes(bytes[..4].try_into().expect("4 bytes"));
+            let width = bytes[4];
+            if width > 32 {
+                return Err(corrupt(format!(
+                    "code chunk for `{name}`: impossible bit width {width}"
+                )));
+            }
+            let deltas = unpack_bits(&bytes[5..], width, rows)
+                .ok_or_else(|| corrupt(format!("code chunk for `{name}` truncated")))?;
+            let mut codes = Vec::with_capacity(rows);
+            for d in deltas {
+                let code = min
+                    .checked_add(u32::try_from(d).map_err(|_| {
+                        corrupt(format!("code chunk for `{name}`: delta overflows u32"))
+                    })?)
+                    .ok_or_else(|| {
+                        corrupt(format!("code chunk for `{name}`: code overflows u32"))
+                    })?;
+                if (code as usize) >= dictionary.len() {
+                    return Err(corrupt(format!(
+                        "code chunk for `{name}`: code {code} outside dictionary of {}",
+                        dictionary.len()
+                    )));
+                }
+                codes.push(code);
+            }
+            Ok(Column::categorical_from_codes(
+                name,
+                Arc::clone(dictionary),
+                codes,
+            ))
+        }
+        other => Err(corrupt(format!("unknown chunk encoding tag {other}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard check value for CRC-32/ISO-HDLC.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn bit_packing_round_trips() {
+        for width in [0u8, 1, 3, 7, 8, 13, 31, 33, 64] {
+            let values: Vec<u64> = (0..100u64)
+                .map(|i| {
+                    if width == 64 {
+                        i.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    } else if width == 0 {
+                        0
+                    } else {
+                        (i * 2_654_435_761) % (1u64 << width)
+                    }
+                })
+                .collect();
+            let mut packed = Vec::new();
+            pack_bits(values.iter().copied(), width, &mut packed);
+            let unpacked = unpack_bits(&packed, width, values.len()).unwrap();
+            assert_eq!(values, unpacked, "width {width}");
+        }
+        // Truncated input is detected.
+        assert!(unpack_bits(&[0u8; 3], 8, 4).is_none());
+    }
+
+    #[test]
+    fn chunk_encodings_round_trip() {
+        let path = PathBuf::from("<test>");
+        let f = Column::float("x", vec![1.5, f64::NAN, -0.0, 1e300]);
+        let mut buf = Vec::new();
+        let enc = encode_chunk(&f, 0..4, &mut buf);
+        let back = decode_chunk(enc, &buf, 4, "x", None, &path).unwrap();
+        // NaN and -0.0 must survive bitwise.
+        for i in 0..4 {
+            assert_eq!(
+                f.numeric_value(i).unwrap().to_bits(),
+                back.numeric_value(i).unwrap().to_bits()
+            );
+        }
+
+        let ints = Column::int("t", vec![i64::MIN, -5, 0, 1_000, i64::MAX]);
+        buf.clear();
+        let enc = encode_chunk(&ints, 0..5, &mut buf);
+        let back = decode_chunk(enc, &buf, 5, "t", None, &path).unwrap();
+        for i in 0..5 {
+            assert_eq!(ints.value(i), back.value(i));
+        }
+
+        let cat = Column::categorical("g", &["b", "a", "b", "c"]);
+        buf.clear();
+        let enc = encode_chunk(&cat, 1..4, &mut buf);
+        let dict = cat.dictionary().unwrap();
+        let back = decode_chunk(enc, &buf, 3, "g", Some(dict), &path).unwrap();
+        assert_eq!(back.value(0), cat.value(1));
+        assert_eq!(back.value(2), cat.value(3));
+    }
+
+    #[test]
+    fn decode_rejects_malformed_chunks() {
+        let path = PathBuf::from("<test>");
+        assert!(decode_chunk(ENC_FLOAT_RAW, &[0u8; 7], 1, "x", None, &path).is_err());
+        assert!(decode_chunk(ENC_INT_FOR, &[0u8; 4], 1, "x", None, &path).is_err());
+        assert!(decode_chunk(99, &[], 0, "x", None, &path).is_err());
+        // Out-of-dictionary code.
+        let dict = Arc::new(vec!["a".to_string()]);
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&5u32.to_le_bytes()); // min code 5, dict of 1
+        buf.push(0); // width 0
+        assert!(decode_chunk(ENC_CODES_FOR, &buf, 2, "g", Some(&dict), &path).is_err());
+    }
+
+    #[test]
+    fn cursor_reads_and_bounds_checks() {
+        let path = PathBuf::from("<test>");
+        let mut buf = Vec::new();
+        put_u32(&mut buf, 7);
+        put_u64(&mut buf, 1 << 40);
+        put_f64(&mut buf, -2.5);
+        put_string(&mut buf, "origin");
+        let mut c = Cursor::new(&buf, &path);
+        assert_eq!(c.u32().unwrap(), 7);
+        assert_eq!(c.u64().unwrap(), 1 << 40);
+        assert_eq!(c.f64().unwrap(), -2.5);
+        assert_eq!(c.string().unwrap(), "origin");
+        assert_eq!(c.remaining(), 0);
+        assert!(matches!(c.u8(), Err(StoreError::Corrupt { .. })));
+    }
+}

@@ -1,0 +1,168 @@
+//! Serializing a [`Scramble`] into an on-disk segment file.
+//!
+//! The write path streams the block-major data section first (tracking the
+//! chunk directory as it goes), then emits the metadata section and the
+//! checksummed footer. Output bytes are a pure function of the scramble:
+//! columns, zone maps and bitmap indexes are all written in table column
+//! order, never in hash-map iteration order.
+
+use std::io::Write;
+use std::path::Path;
+
+use crate::block::BlockId;
+use crate::column::DataType;
+use crate::scramble::Scramble;
+use crate::table::{StoreError, StoreResult};
+
+use super::format::{
+    crc32, encode_chunk, put_f64, put_string, put_u32, put_u64, FOOTER_LEN, HEADER_LEN, MAGIC,
+    NO_CARDINALITY, TYPE_CAT, TYPE_FLOAT, TYPE_INT, VERSION,
+};
+
+/// One chunk directory entry accumulated during the data-section write.
+pub(super) struct ChunkEntry {
+    /// Byte offset of the chunk payload from the start of the file.
+    pub offset: u64,
+    /// Payload length in bytes.
+    pub len: u32,
+    /// Encoding tag (see `format`).
+    pub encoding: u8,
+    /// CRC-32 of the payload.
+    pub crc: u32,
+}
+
+/// Writes `scramble` as a segment file at `path`, replacing any existing
+/// file.
+///
+/// The format is specified byte-for-byte in `docs/FORMAT.md`. Reading the
+/// file back with [`super::SegmentReader`] reproduces the scramble exactly:
+/// values bitwise, dictionaries, block layout, catalog bounds, zone maps and
+/// bitmap indexes.
+///
+/// # Errors
+///
+/// [`StoreError::Io`] on any filesystem failure.
+pub fn write_segment(scramble: &Scramble, path: impl AsRef<Path>) -> StoreResult<()> {
+    let path = path.as_ref();
+    let file = std::fs::File::create(path).map_err(|e| StoreError::io(path, e))?;
+    let mut w = std::io::BufWriter::new(file);
+    let io_err = |e: std::io::Error| StoreError::io(path, e);
+
+    let table = scramble.table();
+    let layout = scramble.layout();
+    let num_blocks = layout.num_blocks();
+    let num_columns = table.num_columns();
+
+    // Header.
+    w.write_all(&MAGIC).map_err(io_err)?;
+    w.write_all(&VERSION.to_le_bytes()).map_err(io_err)?;
+    w.write_all(&0u32.to_le_bytes()).map_err(io_err)?;
+    let mut offset = HEADER_LEN;
+
+    // Data section: block-major chunks.
+    let mut directory: Vec<ChunkEntry> = Vec::with_capacity(num_blocks * num_columns);
+    let mut chunk = Vec::new();
+    for block in 0..num_blocks {
+        let rows = layout.rows_of(BlockId(block));
+        for column in table.columns() {
+            chunk.clear();
+            let encoding = encode_chunk(column, rows.clone(), &mut chunk);
+            w.write_all(&chunk).map_err(io_err)?;
+            directory.push(ChunkEntry {
+                offset,
+                len: chunk.len() as u32,
+                encoding,
+                crc: crc32(&chunk),
+            });
+            offset += chunk.len() as u64;
+        }
+    }
+
+    // Metadata section, assembled in memory so its CRC covers exact bytes.
+    let mut meta = Vec::new();
+    put_u64(&mut meta, scramble.num_rows() as u64);
+    put_u32(&mut meta, layout.block_size() as u32);
+    put_u64(&mut meta, scramble.seed());
+    put_u32(&mut meta, num_columns as u32);
+
+    for column in table.columns() {
+        put_string(&mut meta, column.name());
+        meta.push(match column.data_type() {
+            DataType::Float64 => TYPE_FLOAT,
+            DataType::Int64 => TYPE_INT,
+            DataType::Categorical => TYPE_CAT,
+        });
+        let stats = scramble.catalog().column(column.name())?;
+        let has_range = stats.min.is_some() && stats.max.is_some();
+        meta.push(has_range as u8);
+        put_f64(&mut meta, stats.min.unwrap_or(0.0));
+        put_f64(&mut meta, stats.max.unwrap_or(0.0));
+        put_u64(
+            &mut meta,
+            stats.cardinality.map_or(NO_CARDINALITY, |c| c as u64),
+        );
+        if let Some(dictionary) = column.dictionary() {
+            put_u32(&mut meta, dictionary.len() as u32);
+            for entry in dictionary.iter() {
+                put_string(&mut meta, entry);
+            }
+        }
+    }
+
+    // Zone maps, in column order.
+    let zone_columns: Vec<usize> = (0..num_columns)
+        .filter(|&ci| scramble.zone_map(table.column_at(ci).name()).is_some())
+        .collect();
+    put_u32(&mut meta, zone_columns.len() as u32);
+    for ci in zone_columns {
+        let zone = scramble
+            .zone_map(table.column_at(ci).name())
+            .expect("filtered to zone-mapped columns");
+        put_u32(&mut meta, ci as u32);
+        for (min, max) in zone.mins().iter().zip(zone.maxs()) {
+            put_f64(&mut meta, *min);
+            put_f64(&mut meta, *max);
+        }
+    }
+
+    // Bitmap index summaries, in column order.
+    let indexed_columns: Vec<usize> = (0..num_columns)
+        .filter(|&ci| scramble.bitmap_index(table.column_at(ci).name()).is_some())
+        .collect();
+    put_u32(&mut meta, indexed_columns.len() as u32);
+    for ci in indexed_columns {
+        let index = scramble
+            .bitmap_index(table.column_at(ci).name())
+            .expect("filtered to indexed columns");
+        put_u32(&mut meta, ci as u32);
+        put_u32(&mut meta, index.num_values() as u32);
+        for bitmap in index.value_bitmaps() {
+            for word in bitmap.words() {
+                put_u64(&mut meta, *word);
+            }
+        }
+    }
+
+    // Chunk directory.
+    for entry in &directory {
+        put_u64(&mut meta, entry.offset);
+        put_u32(&mut meta, entry.len);
+        meta.push(entry.encoding);
+        put_u32(&mut meta, entry.crc);
+    }
+
+    let meta_crc = crc32(&meta);
+    w.write_all(&meta).map_err(io_err)?;
+
+    // Footer.
+    let mut footer = Vec::with_capacity(FOOTER_LEN as usize);
+    put_u64(&mut footer, offset);
+    put_u64(&mut footer, meta.len() as u64);
+    put_u32(&mut footer, meta_crc);
+    put_u32(&mut footer, VERSION);
+    footer.extend_from_slice(&MAGIC);
+    debug_assert_eq!(footer.len() as u64, FOOTER_LEN);
+    w.write_all(&footer).map_err(io_err)?;
+    w.flush().map_err(io_err)?;
+    Ok(())
+}

@@ -143,6 +143,40 @@ impl Predicate {
             _ => None,
         }
     }
+
+    /// The numeric range conjuncts of the predicate, as `(column, filter)`
+    /// pairs — used by the engine for zone-map block skipping.
+    ///
+    /// Only conjuncts that every matching row *must* satisfy are extracted
+    /// (the predicate itself, or children of a top-level `And`, recursively).
+    /// Anything under `Or` or `Not` is ignored: skipping on those would be
+    /// unsound.
+    pub fn range_filters(&self) -> Vec<(String, crate::zone::RangeFilter)> {
+        let mut out = Vec::new();
+        self.collect_range_filters(&mut out);
+        out
+    }
+
+    fn collect_range_filters(&self, out: &mut Vec<(String, crate::zone::RangeFilter)>) {
+        use crate::zone::RangeFilter;
+        match self {
+            Predicate::NumGt { column, threshold } => {
+                out.push((column.clone(), RangeFilter::Gt(*threshold)));
+            }
+            Predicate::NumLt { column, threshold } => {
+                out.push((column.clone(), RangeFilter::Lt(*threshold)));
+            }
+            Predicate::NumBetween { column, low, high } => {
+                out.push((column.clone(), RangeFilter::Between(*low, *high)));
+            }
+            Predicate::And(children) => {
+                for c in children {
+                    c.collect_range_filters(out);
+                }
+            }
+            _ => {}
+        }
+    }
 }
 
 /// A predicate bound to a concrete table (columns by index, categories by
@@ -331,6 +365,45 @@ mod tests {
             Predicate::num_gt("missing", 1.0).bind(&t),
             Err(StoreError::UnknownColumn { .. })
         ));
+    }
+
+    #[test]
+    fn range_filter_extraction_is_sound() {
+        use crate::zone::RangeFilter;
+        let p = Predicate::num_gt("dep_time", 1200.0);
+        assert_eq!(
+            p.range_filters(),
+            vec![("dep_time".to_string(), RangeFilter::Gt(1200.0))]
+        );
+        // And-conjuncts are extracted recursively.
+        let p = Predicate::And(vec![
+            Predicate::cat_eq("airline", "UA"),
+            Predicate::And(vec![
+                Predicate::num_lt("delay", 5.0),
+                Predicate::NumBetween {
+                    column: "dep_time".into(),
+                    low: 600.0,
+                    high: 1200.0,
+                },
+            ]),
+        ]);
+        assert_eq!(
+            p.range_filters(),
+            vec![
+                ("delay".to_string(), RangeFilter::Lt(5.0)),
+                ("dep_time".to_string(), RangeFilter::Between(600.0, 1200.0)),
+            ]
+        );
+        // Or / Not children are never extracted — skipping on them would be
+        // unsound.
+        let p = Predicate::Or(vec![
+            Predicate::num_gt("delay", 5.0),
+            Predicate::cat_eq("airline", "UA"),
+        ]);
+        assert!(p.range_filters().is_empty());
+        let p = Predicate::Not(Box::new(Predicate::num_gt("delay", 5.0)));
+        assert!(p.range_filters().is_empty());
+        assert!(Predicate::True.range_filters().is_empty());
     }
 
     #[test]

@@ -20,16 +20,19 @@ use rand::SeedableRng;
 use crate::bitmap::BlockBitmapIndex;
 use crate::block::{BlockId, BlockLayout, DEFAULT_BLOCK_SIZE};
 use crate::catalog::Catalog;
+use crate::source::{BlockRef, BlockSource};
 use crate::table::{StoreResult, Table};
+use crate::zone::ZoneMap;
 
 /// A permuted copy of a table, organized in blocks, with bitmap indexes over
-/// its categorical columns.
+/// its categorical columns and zone maps over its numeric columns.
 #[derive(Debug, Clone)]
 pub struct Scramble {
     table: Table,
     layout: BlockLayout,
     catalog: Catalog,
     indexes: HashMap<String, BlockBitmapIndex>,
+    zones: HashMap<String, ZoneMap>,
     seed: u64,
 }
 
@@ -56,10 +59,13 @@ impl Scramble {
         let catalog = Catalog::build(table, range_slack);
 
         let mut indexes = HashMap::new();
+        let mut zones = HashMap::new();
         for col in permuted.columns() {
             if col.dictionary().is_some() {
                 let idx = BlockBitmapIndex::build(col, &layout)?;
                 indexes.insert(col.name().to_string(), idx);
+            } else if let Some(zone) = ZoneMap::build(col, &layout) {
+                zones.insert(col.name().to_string(), zone);
             }
         }
 
@@ -68,8 +74,32 @@ impl Scramble {
             layout,
             catalog,
             indexes,
+            zones,
             seed,
         })
+    }
+
+    /// Reassembles a scramble from already-permuted parts (used when loading
+    /// a persisted segment eagerly into memory). The caller asserts that
+    /// `table` is already permuted and that the indexes/zones describe it
+    /// under `layout`.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_parts(
+        table: Table,
+        layout: BlockLayout,
+        catalog: Catalog,
+        indexes: HashMap<String, BlockBitmapIndex>,
+        zones: HashMap<String, ZoneMap>,
+        seed: u64,
+    ) -> Self {
+        Self {
+            table,
+            layout,
+            catalog,
+            indexes,
+            zones,
+            seed,
+        }
     }
 
     /// The permuted table.
@@ -107,9 +137,58 @@ impl Scramble {
         self.indexes.get(column)
     }
 
+    /// Zone map over a numeric column, if one was built.
+    pub fn zone_map(&self, column: &str) -> Option<&ZoneMap> {
+        self.zones.get(column)
+    }
+
+    /// All bitmap indexes, keyed by column name.
+    pub fn bitmap_indexes(&self) -> &HashMap<String, BlockBitmapIndex> {
+        &self.indexes
+    }
+
+    /// All zone maps, keyed by column name.
+    pub fn zone_maps(&self) -> &HashMap<String, ZoneMap> {
+        &self.zones
+    }
+
     /// The row range of one block.
     pub fn block_rows(&self, block: BlockId) -> std::ops::Range<usize> {
         self.layout.rows_of(block)
+    }
+}
+
+impl BlockSource for Scramble {
+    fn schema(&self) -> &Table {
+        &self.table
+    }
+
+    fn num_rows(&self) -> usize {
+        self.table.num_rows()
+    }
+
+    fn layout(&self) -> &BlockLayout {
+        &self.layout
+    }
+
+    fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    fn bitmap_index(&self, column: &str) -> Option<&BlockBitmapIndex> {
+        self.indexes.get(column)
+    }
+
+    fn zone_map(&self, column: &str) -> Option<&ZoneMap> {
+        self.zones.get(column)
+    }
+
+    fn read_block(&self, block: BlockId) -> StoreResult<BlockRef<'_>> {
+        Ok(BlockRef::borrowed(&self.table, self.layout.rows_of(block)))
     }
 }
 
@@ -214,6 +293,43 @@ mod tests {
                 assert_eq!(idx.block_contains(code, BlockId(block)), expected);
             }
         }
+    }
+
+    #[test]
+    fn zone_maps_built_for_numeric_columns_only() {
+        let t = table(1000);
+        let s = Scramble::build_with(&t, 3, 25, 0.0).unwrap();
+        assert!(s.zone_map("x").is_some());
+        assert!(s.zone_map("g").is_none());
+        let z = s.zone_map("x").unwrap();
+        assert_eq!(z.num_blocks(), s.num_blocks());
+        // Every block's zone range brackets exactly its rows' extrema.
+        let col = s.table().column("x").unwrap();
+        for b in 0..s.num_blocks() {
+            let (lo, hi) = z.block_range(BlockId(b)).unwrap();
+            for row in s.block_rows(BlockId(b)) {
+                let v = col.numeric_value(row).unwrap();
+                assert!(v >= lo && v <= hi);
+            }
+        }
+    }
+
+    #[test]
+    fn scramble_is_a_block_source() {
+        let t = table(130);
+        let s = Scramble::build_with(&t, 3, 25, 0.0).unwrap();
+        let src: &dyn BlockSource = &s;
+        assert_eq!(src.num_rows(), 130);
+        assert_eq!(src.num_blocks(), 6);
+        assert_eq!(src.seed(), 3);
+        assert_eq!(src.schema().num_columns(), 2);
+        assert!(src.bitmap_index("g").is_some());
+        assert!(src.zone_map("x").is_some());
+        let b = src.read_block(BlockId(5)).unwrap();
+        assert_eq!(b.rows(), 125..130);
+        assert_eq!(b.len(), 5);
+        // Borrowed refs window the full permuted table.
+        assert_eq!(b.table().num_rows(), 130);
     }
 
     #[test]

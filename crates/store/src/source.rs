@@ -1,0 +1,193 @@
+//! The [`BlockSource`] scan abstraction: anything that can serve scramble
+//! blocks to the engine.
+//!
+//! The paper's engine only ever touches data at block granularity (§4.2), so
+//! the entire scan path — planning, predicate evaluation, aggregation —
+//! needs nothing beyond "give me block *b*" plus catalog-level metadata.
+//! [`BlockSource`] captures exactly that surface, with two implementations:
+//!
+//! * the in-memory [`Scramble`](crate::scramble::Scramble), whose
+//!   `read_block` is a zero-copy view into the permuted table, and
+//! * the on-disk [`SegmentReader`](crate::persist::SegmentReader), which
+//!   decodes blocks on demand so working sets larger than memory can be
+//!   scanned block-by-block.
+//!
+//! Both expose the same layout, catalog, bitmap indexes and zone maps, so
+//! the planner makes identical skip decisions and the executor produces
+//! bit-identical results whichever backing the table has.
+
+use std::ops::Range;
+
+use crate::bitmap::BlockBitmapIndex;
+use crate::block::{BlockId, BlockLayout};
+use crate::catalog::Catalog;
+use crate::table::{StoreResult, Table};
+use crate::zone::ZoneMap;
+
+/// The decoded contents of one block, referencing either the backing
+/// in-memory table (zero copy) or a table decoded on demand from disk.
+#[derive(Debug)]
+pub struct BlockRef<'a> {
+    data: BlockData<'a>,
+    rows: Range<usize>,
+}
+
+#[derive(Debug)]
+enum BlockData<'a> {
+    Borrowed(&'a Table),
+    Owned(Table),
+}
+
+impl<'a> BlockRef<'a> {
+    /// A zero-copy view of rows `rows` of a larger backing table.
+    pub fn borrowed(table: &'a Table, rows: Range<usize>) -> Self {
+        Self {
+            data: BlockData::Borrowed(table),
+            rows,
+        }
+    }
+
+    /// An owned block decoded on demand; every row of `table` belongs to the
+    /// block.
+    pub fn owned(table: Table) -> Self {
+        let rows = 0..table.num_rows();
+        Self {
+            data: BlockData::Owned(table),
+            rows,
+        }
+    }
+
+    /// The table holding the block's rows. Columns appear in the same order
+    /// and with the same dictionaries as the source's
+    /// [`schema`](BlockSource::schema), so expressions and predicates bound
+    /// against the schema evaluate directly against this table.
+    pub fn table(&self) -> &Table {
+        match &self.data {
+            BlockData::Borrowed(t) => t,
+            BlockData::Owned(t) => t,
+        }
+    }
+
+    /// The row indices of [`Self::table`] that belong to this block.
+    pub fn rows(&self) -> Range<usize> {
+        self.rows.clone()
+    }
+
+    /// Number of rows in the block.
+    pub fn len(&self) -> usize {
+        self.rows.end - self.rows.start
+    }
+
+    /// Whether the block holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+/// A source of scramble blocks: the engine's entire view of a table.
+///
+/// Implementations must be cheap to query for metadata (layout, catalog,
+/// indexes — all resident) and may be lazy about the data itself:
+/// [`Self::read_block`] is the only operation that touches row storage.
+///
+/// `Sync` is required because the partitioned scan pipeline shares one
+/// source across its worker threads.
+pub trait BlockSource: Sync {
+    /// The schema table: column names, types and dictionaries, in the exact
+    /// order and encoding of every [`BlockRef::table`]. For in-memory
+    /// sources this is the full data table; lazy sources return a zero-row
+    /// table. Use it for *binding* (name → index resolution, dictionary
+    /// lookups), never for row access — row counts must come from
+    /// [`Self::num_rows`].
+    fn schema(&self) -> &Table;
+
+    /// Total number of rows.
+    fn num_rows(&self) -> usize;
+
+    /// The block layout (row ↔ block mapping).
+    fn layout(&self) -> &BlockLayout;
+
+    /// Catalog of the *original* (pre-permutation) table.
+    fn catalog(&self) -> &Catalog;
+
+    /// The seed of the scramble permutation (recorded for reproducibility).
+    fn seed(&self) -> u64;
+
+    /// Block bitmap index over a categorical column, if one exists.
+    fn bitmap_index(&self, column: &str) -> Option<&BlockBitmapIndex>;
+
+    /// Zone map over a numeric column, if one exists.
+    fn zone_map(&self, column: &str) -> Option<&ZoneMap>;
+
+    /// Reads one block.
+    ///
+    /// # Errors
+    ///
+    /// In-memory sources never fail; lazy sources report I/O errors and
+    /// chunk-level corruption detected on decode.
+    fn read_block(&self, block: BlockId) -> StoreResult<BlockRef<'_>>;
+
+    /// Total number of blocks.
+    fn num_blocks(&self) -> usize {
+        self.layout().num_blocks()
+    }
+
+    /// The row range of one block.
+    fn block_rows(&self, block: BlockId) -> Range<usize> {
+        self.layout().rows_of(block)
+    }
+
+    /// The distinct dictionary-code tuples of the given columns, in
+    /// **first-appearance order** over storage (block 0, row 0 onward).
+    /// Non-categorical columns contribute `u32::MAX`. The engine derives
+    /// its per-group aggregate views from this, so the order is part of the
+    /// bit-identical-results contract between backings.
+    ///
+    /// The default implementation scans every block; because the result is
+    /// a pure function of the stored data, lazy sources may memoize it
+    /// (see [`crate::persist::SegmentReader`]) so repeated grouped queries
+    /// do not re-decode the whole file.
+    fn distinct_group_tuples(&self, columns: &[usize]) -> StoreResult<Vec<Vec<u32>>> {
+        let mut seen: std::collections::HashSet<Vec<u32>> = std::collections::HashSet::new();
+        let mut out = Vec::new();
+        for block in 0..self.num_blocks() {
+            let block_ref = self.read_block(BlockId(block))?;
+            let table = block_ref.table();
+            for row in block_ref.rows() {
+                let codes: Vec<u32> = columns
+                    .iter()
+                    .map(|&ci| table.column_at(ci).category_code(row).unwrap_or(u32::MAX))
+                    .collect();
+                if seen.insert(codes.clone()) {
+                    out.push(codes);
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::Column;
+
+    #[test]
+    fn borrowed_block_ref_windows_the_backing_table() {
+        let t = Table::new(vec![Column::float("x", vec![1.0, 2.0, 3.0, 4.0])]).unwrap();
+        let b = BlockRef::borrowed(&t, 2..4);
+        assert_eq!(b.rows(), 2..4);
+        assert_eq!(b.len(), 2);
+        assert!(!b.is_empty());
+        assert_eq!(b.table().column("x").unwrap().numeric_value(2), Some(3.0));
+    }
+
+    #[test]
+    fn owned_block_ref_covers_all_rows() {
+        let t = Table::new(vec![Column::float("x", vec![1.0, 2.0])]).unwrap();
+        let b = BlockRef::owned(t);
+        assert_eq!(b.rows(), 0..2);
+        let empty = BlockRef::owned(Table::new(vec![]).unwrap());
+        assert!(empty.is_empty());
+    }
+}

@@ -1,10 +1,13 @@
 //! Tables: named collections of equal-length columns, plus the store error
 //! type.
 
+use std::path::PathBuf;
+use std::sync::Arc;
+
 use crate::column::{Column, DataType, Value};
 
 /// Errors produced by the storage layer.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub enum StoreError {
     /// A referenced column does not exist.
     UnknownColumn {
@@ -40,6 +43,107 @@ pub enum StoreError {
     },
     /// The table has no rows.
     EmptyTable,
+    /// An I/O operation on a storage file failed.
+    Io {
+        /// Path of the file being read or written.
+        path: PathBuf,
+        /// The underlying I/O error (shared so the error stays `Clone`).
+        source: Arc<std::io::Error>,
+    },
+    /// A storage file is malformed: bad magic, unsupported version, checksum
+    /// mismatch, truncation, or an impossible value in a decoded structure.
+    Corrupt {
+        /// Path of the offending file.
+        path: PathBuf,
+        /// What exactly failed to validate.
+        detail: String,
+    },
+}
+
+impl StoreError {
+    /// Wraps an I/O error with the path it occurred on.
+    pub fn io(path: impl Into<PathBuf>, source: std::io::Error) -> Self {
+        StoreError::Io {
+            path: path.into(),
+            source: Arc::new(source),
+        }
+    }
+
+    /// A corruption error for `path` with a human-readable detail.
+    pub fn corrupt(path: impl Into<PathBuf>, detail: impl Into<String>) -> Self {
+        StoreError::Corrupt {
+            path: path.into(),
+            detail: detail.into(),
+        }
+    }
+}
+
+// Manual `PartialEq`: `std::io::Error` is not comparable, so `Io` errors
+// compare by path and error kind (which is what tests match on).
+impl PartialEq for StoreError {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (StoreError::UnknownColumn { name: a }, StoreError::UnknownColumn { name: b }) => {
+                a == b
+            }
+            (
+                StoreError::TypeMismatch {
+                    name: a,
+                    expected: ae,
+                    actual: aa,
+                },
+                StoreError::TypeMismatch {
+                    name: b,
+                    expected: be,
+                    actual: ba,
+                },
+            ) => a == b && ae == be && aa == ba,
+            (
+                StoreError::LengthMismatch {
+                    name: a,
+                    len: al,
+                    expected: ae,
+                },
+                StoreError::LengthMismatch {
+                    name: b,
+                    len: bl,
+                    expected: be,
+                },
+            ) => a == b && al == bl && ae == be,
+            (
+                StoreError::UnknownCategory {
+                    column: a,
+                    value: av,
+                },
+                StoreError::UnknownCategory {
+                    column: b,
+                    value: bv,
+                },
+            ) => a == b && av == bv,
+            (StoreError::EmptyTable, StoreError::EmptyTable) => true,
+            (
+                StoreError::Io {
+                    path: a,
+                    source: asrc,
+                },
+                StoreError::Io {
+                    path: b,
+                    source: bsrc,
+                },
+            ) => a == b && asrc.kind() == bsrc.kind(),
+            (
+                StoreError::Corrupt {
+                    path: a,
+                    detail: ad,
+                },
+                StoreError::Corrupt {
+                    path: b,
+                    detail: bd,
+                },
+            ) => a == b && ad == bd,
+            _ => false,
+        }
+    }
 }
 
 impl std::fmt::Display for StoreError {
@@ -66,11 +170,24 @@ impl std::fmt::Display for StoreError {
                 write!(f, "value `{value}` not present in column `{column}`")
             }
             StoreError::EmptyTable => write!(f, "table has no rows"),
+            StoreError::Io { path, source } => {
+                write!(f, "I/O error on `{}`: {source}", path.display())
+            }
+            StoreError::Corrupt { path, detail } => {
+                write!(f, "corrupt storage file `{}`: {detail}", path.display())
+            }
         }
     }
 }
 
-impl std::error::Error for StoreError {}
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io { source, .. } => Some(source.as_ref()),
+            _ => None,
+        }
+    }
+}
 
 /// Result alias for storage operations.
 pub type StoreResult<T> = Result<T, StoreError>;
@@ -277,5 +394,33 @@ mod tests {
         };
         assert!(e.to_string().contains("ZZ"));
         assert!(StoreError::EmptyTable.to_string().contains("no rows"));
+    }
+
+    #[test]
+    fn io_and_corrupt_errors() {
+        use std::error::Error;
+        let e = StoreError::io(
+            "/tmp/x.seg",
+            std::io::Error::new(std::io::ErrorKind::NotFound, "gone"),
+        );
+        assert!(e.to_string().contains("/tmp/x.seg"));
+        assert!(e.source().is_some());
+        // Io errors compare by path + kind.
+        let same = StoreError::io(
+            "/tmp/x.seg",
+            std::io::Error::new(std::io::ErrorKind::NotFound, "different message"),
+        );
+        assert_eq!(e, same);
+        let other_kind = StoreError::io(
+            "/tmp/x.seg",
+            std::io::Error::new(std::io::ErrorKind::PermissionDenied, "nope"),
+        );
+        assert_ne!(e, other_kind);
+
+        let c = StoreError::corrupt("/tmp/x.seg", "bad magic");
+        assert!(c.to_string().contains("bad magic"));
+        assert_eq!(c, StoreError::corrupt("/tmp/x.seg", "bad magic"));
+        assert_ne!(c, e);
+        assert!(c.source().is_none());
     }
 }

@@ -1,0 +1,109 @@
+//! Persistence: save a scrambled table to a segment file, reopen it
+//! cold-start-style, and show that queries against the lazy on-disk segment
+//! are bit-for-bit identical to the in-memory scramble — same estimates,
+//! same confidence intervals, same blocks fetched and skipped.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release -p fastframe-tests --example persistence
+//! ```
+
+use fastframe_engine::prelude::*;
+use fastframe_store::prelude::*;
+
+fn main() {
+    // 1. Build a sales table with a numeric range predicate target
+    //    (`price`), a categorical group column (`store`), and enough rows
+    //    that lazy block decoding matters.
+    let n = std::env::var("FASTFRAME_ROWS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(400_000usize);
+    let prices: Vec<f64> = (0..n)
+        .map(|i| 5.0 + ((i * 2_654_435_761) % 10_000) as f64 / 100.0)
+        .collect();
+    let stores: Vec<String> = (0..n).map(|i| format!("store-{}", i % 12)).collect();
+    let table = Table::new(vec![
+        Column::float("price", prices),
+        Column::categorical("store", &stores),
+    ])
+    .expect("columns have equal length");
+
+    let defaults = EngineConfig::builder()
+        .bounder(BounderKind::BernsteinRangeTrim)
+        .delta(1e-9)
+        .seed(7)
+        .build();
+
+    // 2. Register (scramble) the table once and SAVE it: the one-time
+    //    shuffle cost becomes a reusable on-disk artifact.
+    let mut session = Session::with_defaults(defaults.clone());
+    session.register("sales", &table).expect("registers");
+    let path = std::env::temp_dir().join(format!(
+        "fastframe_persistence_example_{}.ffseg",
+        std::process::id()
+    ));
+    let save_start = std::time::Instant::now();
+    session.save_table("sales", &path).expect("saves");
+    println!(
+        "saved segment: {} ({:.1} MB) in {:?}",
+        path.display(),
+        std::fs::metadata(&path)
+            .map(|m| m.len() as f64 / 1e6)
+            .unwrap_or(0.0),
+        save_start.elapsed()
+    );
+
+    // 3. A "new process": open the segment instead of re-loading and
+    //    re-shuffling. Opening reads only footer + metadata — blocks stay on
+    //    disk until the scan touches them.
+    let open_start = std::time::Instant::now();
+    let mut cold_session = Session::with_defaults(defaults);
+    cold_session.open_table("sales", &path).expect("opens");
+    println!("cold open: {:?} (metadata only)", open_start.elapsed());
+
+    // 4. Run the same query against both backings. The numeric predicate
+    //    exercises zone-map block skipping; zone maps were persisted with
+    //    the segment, so both paths skip the same blocks.
+    let run = |s: &Session| {
+        s.query("sales")
+            .avg(Expr::col("price"))
+            .filter(Predicate::num_gt("price", 80.0))
+            .group_by("store")
+            .having_gt(90.0)
+            .execute()
+            .expect("query runs")
+    };
+    let memory = run(&session);
+    let disk = run(&cold_session);
+
+    for (m, d) in memory.groups.iter().zip(&disk.groups) {
+        assert_eq!(m.key, d.key);
+        assert_eq!(
+            m.estimate.map(f64::to_bits),
+            d.estimate.map(f64::to_bits),
+            "estimates must be bit-identical"
+        );
+        assert_eq!(m.ci.lo.to_bits(), d.ci.lo.to_bits());
+        assert_eq!(m.ci.hi.to_bits(), d.ci.hi.to_bits());
+    }
+    assert_eq!(memory.metrics.scan, disk.metrics.scan);
+    assert_eq!(memory.selected_labels(), disk.selected_labels());
+
+    println!(
+        "in-memory : {} groups selected, {} blocks fetched, {} skipped",
+        memory.selected_labels().len(),
+        memory.metrics.scan.blocks_fetched,
+        memory.metrics.scan.blocks_skipped
+    );
+    println!(
+        "segment   : {} groups selected, {} blocks fetched, {} skipped",
+        disk.selected_labels().len(),
+        disk.metrics.scan.blocks_fetched,
+        disk.metrics.scan.blocks_skipped
+    );
+    println!("results are bit-for-bit identical across backings");
+
+    std::fs::remove_file(&path).ok();
+}

@@ -1,0 +1,437 @@
+//! Persistence integration tests:
+//!
+//! * **proptest round trip** — random tables (mixed column types, special
+//!   float values, random block sizes) survive `Scramble -> segment file ->
+//!   SegmentReader` with bitwise-equal values, equal dictionaries, equal
+//!   block layout, equal catalog bounds, and equal zone maps / bitmap
+//!   indexes;
+//! * **corruption** — truncated footers, flipped metadata bytes and flipped
+//!   data bytes all fail loudly (`StoreError::Corrupt`), never silently;
+//! * **acceptance** — a query executed against a `SegmentReader`-backed
+//!   session table returns bit-identical estimates and CI bounds and
+//!   identical `ScanStats` (fetched *and* skipped) to the same query on the
+//!   in-memory scramble it was saved from, at `threads = 1` and
+//!   `threads = 4`, across sampling strategies and predicate shapes.
+
+use proptest::prelude::*;
+
+use fastframe_core::bounder::BounderKind;
+use fastframe_engine::config::{EngineConfig, SamplingStrategy};
+use fastframe_engine::error::EngineError;
+use fastframe_engine::session::Session;
+use fastframe_engine::QueryResult;
+use fastframe_store::block::BlockId;
+use fastframe_store::column::Column;
+use fastframe_store::persist::{write_segment, SegmentReader};
+use fastframe_store::predicate::Predicate;
+use fastframe_store::scramble::Scramble;
+use fastframe_store::source::BlockSource;
+use fastframe_store::table::{StoreError, Table};
+use fastframe_store::Expr;
+
+fn temp_path(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!(
+        "fastframe_persistence_it_{tag}_{}.ffseg",
+        std::process::id()
+    ))
+}
+
+/// Builds a table from raw per-row draws: a float column (with NaN / -0.0 /
+/// huge values spliced in), an int column spanning signed extremes, and a
+/// categorical column of bounded cardinality.
+fn build_table(floats: &[f64], cardinality: usize) -> Table {
+    let n = floats.len();
+    let values: Vec<f64> = floats
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| match i % 97 {
+            13 => f64::NAN,
+            29 => -0.0,
+            47 => 1e300,
+            61 => -1e300,
+            _ => v,
+        })
+        .collect();
+    let ints: Vec<i64> = (0..n)
+        .map(|i| match i % 89 {
+            7 => i64::MIN,
+            11 => i64::MAX,
+            _ => (i as i64).wrapping_mul(2_654_435_761) % 100_000,
+        })
+        .collect();
+    let cats: Vec<String> = (0..n)
+        .map(|i| format!("c{}", i % cardinality.max(1)))
+        .collect();
+    Table::new(vec![
+        Column::float("x", values),
+        Column::int("t", ints),
+        Column::categorical("g", &cats),
+    ])
+    .unwrap()
+}
+
+fn assert_round_trip(scramble: &Scramble, reader: &SegmentReader) {
+    assert_eq!(reader.num_rows(), scramble.num_rows());
+    assert_eq!(reader.layout(), scramble.layout());
+    assert_eq!(reader.seed(), scramble.seed());
+
+    // Catalog bounds, bitwise.
+    for col in ["x", "t"] {
+        let (a, b) = scramble.catalog().range_bounds(col).unwrap();
+        let (ra, rb) = reader.catalog().range_bounds(col).unwrap();
+        assert_eq!(a.to_bits(), ra.to_bits(), "{col} min");
+        assert_eq!(b.to_bits(), rb.to_bits(), "{col} max");
+    }
+    assert_eq!(
+        reader.catalog().column("g").unwrap().cardinality,
+        scramble.catalog().column("g").unwrap().cardinality
+    );
+
+    // Dictionaries.
+    assert_eq!(
+        reader.schema().column("g").unwrap().dictionary(),
+        scramble.table().column("g").unwrap().dictionary()
+    );
+
+    // Zone maps and bitmap indexes, verbatim.
+    assert_eq!(
+        BlockSource::zone_map(reader, "x"),
+        BlockSource::zone_map(scramble, "x")
+    );
+    assert_eq!(
+        BlockSource::zone_map(reader, "t"),
+        BlockSource::zone_map(scramble, "t")
+    );
+    assert_eq!(
+        BlockSource::bitmap_index(reader, "g"),
+        BlockSource::bitmap_index(scramble, "g")
+    );
+
+    // Every block's values, bitwise.
+    for b in 0..scramble.num_blocks() {
+        let mem = scramble.read_block(BlockId(b)).unwrap();
+        let disk = reader.read_block(BlockId(b)).unwrap();
+        assert_eq!(mem.len(), disk.len());
+        for (mr, dr) in mem.rows().zip(disk.rows()) {
+            let mx = mem.table().column("x").unwrap().numeric_value(mr).unwrap();
+            let dx = disk.table().column("x").unwrap().numeric_value(dr).unwrap();
+            assert_eq!(mx.to_bits(), dx.to_bits(), "block {b} float");
+            assert_eq!(
+                mem.table().value("t", mr).unwrap(),
+                disk.table().value("t", dr).unwrap(),
+                "block {b} int"
+            );
+            assert_eq!(
+                mem.table().value("g", mr).unwrap(),
+                disk.table().value("g", dr).unwrap(),
+                "block {b} categorical"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// `Table -> Scramble -> segment -> SegmentReader` preserves everything,
+    /// for random shapes: values, dictionaries, block layout, catalog
+    /// bounds, zone maps and bitmap summaries.
+    #[test]
+    fn segment_round_trip(
+        floats in proptest::collection::vec(-1e6f64..1e6, 1..600),
+        cardinality in 1usize..40,
+        block_size in 1usize..64,
+        seed in 0u64..1_000,
+    ) {
+        let table = build_table(&floats, cardinality);
+        let scramble = Scramble::build_with(&table, seed, block_size, 0.0).unwrap();
+        let path = temp_path("proptest");
+        write_segment(&scramble, &path).unwrap();
+        let reader = SegmentReader::open(&path).unwrap();
+        assert_round_trip(&scramble, &reader);
+
+        // Materializing the segment rebuilds the full permuted table.
+        let rebuilt = reader.materialize().unwrap();
+        prop_assert_eq!(rebuilt.num_rows(), scramble.num_rows());
+        for row in 0..scramble.num_rows() {
+            prop_assert_eq!(
+                scramble.table().column("x").unwrap().numeric_value(row).unwrap().to_bits(),
+                rebuilt.table().column("x").unwrap().numeric_value(row).unwrap().to_bits()
+            );
+        }
+        std::fs::remove_file(&path).ok();
+    }
+}
+
+#[test]
+fn truncated_and_corrupted_files_fail_loudly() {
+    let table = build_table(&vec![1.0; 300], 5);
+    let scramble = Scramble::build_with(&table, 3, 25, 0.0).unwrap();
+    let path = temp_path("corrupt");
+    write_segment(&scramble, &path).unwrap();
+    let pristine = std::fs::read(&path).unwrap();
+
+    // Truncations at many byte lengths: never a silent success, never a
+    // panic — always Io/Corrupt.
+    for keep in [0, 10, 16, 48, pristine.len() / 2, pristine.len() - 1] {
+        std::fs::write(&path, &pristine[..keep]).unwrap();
+        match SegmentReader::open(&path) {
+            Err(StoreError::Corrupt { .. }) => {}
+            Err(StoreError::Io { .. }) => {}
+            other => panic!("truncation to {keep} bytes: expected error, got {other:?}"),
+        }
+    }
+
+    // A flipped byte anywhere in the metadata+footer region fails at open;
+    // a flipped byte in the data region fails on first block read.
+    let mut data_flip = pristine.clone();
+    data_flip[17] ^= 0x40;
+    std::fs::write(&path, &data_flip).unwrap();
+    let reader = SegmentReader::open(&path).unwrap();
+    assert!(matches!(
+        reader.read_block(BlockId(0)),
+        Err(StoreError::Corrupt { .. })
+    ));
+
+    let mut meta_flip = pristine.clone();
+    let idx = pristine.len() - 40; // inside the metadata section
+    meta_flip[idx] ^= 0x01;
+    std::fs::write(&path, &meta_flip).unwrap();
+    assert!(matches!(
+        SegmentReader::open(&path),
+        Err(StoreError::Corrupt { .. })
+    ));
+
+    std::fs::remove_file(&path).ok();
+}
+
+/// A synthetic table exercising every skip mechanism: a categorical filter
+/// column, a group column, and a numeric column whose values correlate with
+/// position (so zone maps actually prune blocks).
+fn acceptance_table(rows: usize) -> Table {
+    let values: Vec<f64> = (0..rows)
+        .map(|i| {
+            let noise = ((i * 2_654_435_761) % 1000) as f64 / 100.0 - 5.0;
+            (i % 5) as f64 * 12.0 + noise
+        })
+        .collect();
+    let times: Vec<i64> = (0..rows).map(|i| 600 + (i as i64 * 7) % 1200).collect();
+    let groups: Vec<String> = (0..rows).map(|i| format!("g{}", i % 4)).collect();
+    let flags: Vec<String> = (0..rows)
+        .map(|i| if i % 3 == 0 { "on" } else { "off" }.to_string())
+        .collect();
+    Table::new(vec![
+        Column::float("v", values),
+        Column::int("time", times),
+        Column::categorical("g", &groups),
+        Column::categorical("flag", &flags),
+    ])
+    .unwrap()
+}
+
+fn assert_bit_identical(mem: &QueryResult, disk: &QueryResult) {
+    assert_eq!(mem.groups.len(), disk.groups.len());
+    for (a, b) in mem.groups.iter().zip(&disk.groups) {
+        assert_eq!(a.key, b.key, "group universe/order must match");
+        assert_eq!(
+            a.estimate.map(f64::to_bits),
+            b.estimate.map(f64::to_bits),
+            "estimate bits for {}",
+            a.key.display()
+        );
+        assert_eq!(a.ci.lo.to_bits(), b.ci.lo.to_bits(), "ci.lo bits");
+        assert_eq!(a.ci.hi.to_bits(), b.ci.hi.to_bits(), "ci.hi bits");
+        assert_eq!(a.samples, b.samples);
+        assert_eq!(a.exact, b.exact);
+    }
+    assert_eq!(mem.selected_labels(), disk.selected_labels());
+    assert_eq!(mem.converged, disk.converged);
+    // The acceptance bar: *identical* scan statistics — fetched, skipped,
+    // rows, matches, index checks, rounds.
+    assert_eq!(mem.metrics.scan, disk.metrics.scan);
+}
+
+#[test]
+fn segment_queries_are_bit_identical_to_memory_at_one_and_four_threads() {
+    let table = acceptance_table(12_000);
+    let mut session = Session::new();
+    session.register("t", &table).unwrap();
+    let path = temp_path("acceptance");
+    session.save_table("t", &path).unwrap();
+    session.open_table("t_disk", &path).unwrap();
+
+    for strategy in SamplingStrategy::ALL {
+        for threads in [1usize, 4] {
+            let config = EngineConfig::builder()
+                .bounder(BounderKind::BernsteinRangeTrim)
+                .strategy(strategy)
+                .delta(1e-9)
+                .round_rows(800)
+                .seed(0xABCD)
+                .threads(threads)
+                .build();
+            // Grouped query with a numeric range predicate (zone maps) and a
+            // categorical filter (predicate bitmap), plus active scanning.
+            let run = |table_name: &str| {
+                session
+                    .query(table_name)
+                    .avg(Expr::col("v"))
+                    .filter(Predicate::And(vec![
+                        Predicate::cat_eq("flag", "on"),
+                        Predicate::num_gt("time", 900.0),
+                    ]))
+                    .group_by("g")
+                    .having_gt(20.0)
+                    .config(config.clone())
+                    .execute()
+                    .unwrap()
+            };
+            let mem = run("t");
+            let disk = run("t_disk");
+            assert_bit_identical(&mem, &disk);
+
+            // The ungrouped relative-error form too.
+            let run = |table_name: &str| {
+                session
+                    .query(table_name)
+                    .sum(Expr::col("v"))
+                    .filter(Predicate::num_lt("time", 1_200.0))
+                    .relative_error(0.15)
+                    .config(config.clone())
+                    .execute()
+                    .unwrap()
+            };
+            assert_bit_identical(&run("t"), &run("t_disk"));
+        }
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn exact_and_progressive_modes_work_against_segments() {
+    let table = acceptance_table(6_000);
+    let mut session = Session::new();
+    session.register("t", &table).unwrap();
+    let path = temp_path("modes");
+    session.save_table("t", &path).unwrap();
+    session.open_table("t_disk", &path).unwrap();
+
+    // Exact baseline agrees across backings.
+    let exact = |name: &str| {
+        session
+            .query(name)
+            .avg(Expr::col("v"))
+            .group_by("g")
+            .having_gt(20.0)
+            .execute_exact()
+            .unwrap()
+    };
+    let (mem, disk) = (exact("t"), exact("t_disk"));
+    assert_bit_identical(&mem, &disk);
+    assert!(disk.groups.iter().all(|g| g.exact));
+
+    // Progressive snapshots stream from segments too.
+    let p = session
+        .query("t_disk")
+        .avg(Expr::col("v"))
+        .group_by("g")
+        .absolute_width(0.0)
+        .tune(|c| c.round_rows(500))
+        .budget(fastframe_engine::Budget::unlimited().max_rounds(2))
+        .progressive()
+        .unwrap();
+    assert_eq!(p.rounds(), 2);
+    assert!(p.cancelled());
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn mid_scan_corruption_is_an_error_not_a_panic() {
+    // Metadata intact (open succeeds), data section rotted: the query must
+    // fail with EngineError::Store(Corrupt) through the public API — at one
+    // thread (inline scan) and four (worker pool) alike.
+    let table = acceptance_table(4_000);
+    let scramble = Scramble::build_with(&table, 9, 25, 0.0).unwrap();
+    let path = temp_path("midscan");
+    write_segment(&scramble, &path).unwrap();
+    let mut bytes = std::fs::read(&path).unwrap();
+    bytes[40] ^= 0x20; // inside block 0's chunks
+    std::fs::write(&path, &bytes).unwrap();
+
+    let mut session = Session::new();
+    session.open_table("t", &path).unwrap();
+    for threads in [1usize, 4] {
+        let result = session
+            .query("t")
+            .avg(Expr::col("v"))
+            .relative_error(0.2)
+            .tune(|c| c.threads(threads).start_block(0).round_rows(500))
+            .execute();
+        match result {
+            Err(EngineError::Store(StoreError::Corrupt { .. })) => {}
+            other => panic!("threads={threads}: expected Corrupt error, got {other:?}"),
+        }
+        // Exact executor reports the same error class.
+        let exact = session.query("t").avg(Expr::col("v")).execute_exact();
+        assert!(matches!(
+            exact,
+            Err(EngineError::Store(StoreError::Corrupt { .. }))
+        ));
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn group_universe_is_memoized_and_identical_across_backings() {
+    let table = acceptance_table(3_000);
+    let scramble = Scramble::build_with(&table, 11, 25, 0.0).unwrap();
+    let path = temp_path("universe");
+    write_segment(&scramble, &path).unwrap();
+    let reader = SegmentReader::open(&path).unwrap();
+
+    let cols = [2usize, 3]; // ("g", "flag")
+    let mem = scramble.distinct_group_tuples(&cols).unwrap();
+    let disk_first = reader.distinct_group_tuples(&cols).unwrap();
+    let disk_cached = reader.distinct_group_tuples(&cols).unwrap();
+    assert_eq!(mem, disk_first, "first-appearance order must match");
+    assert_eq!(disk_first, disk_cached, "memoized result must be identical");
+    assert_eq!(mem.len(), 8, "4 groups × 2 flags all occur");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn session_backing_rules_are_enforced() {
+    let table = acceptance_table(500);
+    let mut session = Session::new();
+    session.register("t", &table).unwrap();
+    let path = temp_path("rules");
+    session.save_table("t", &path).unwrap();
+    session.open_table("t_disk", &path).unwrap();
+
+    // A segment-backed table has no in-memory scramble to borrow or save.
+    assert!(matches!(
+        session.scramble("t_disk"),
+        Err(EngineError::SegmentBacked { .. })
+    ));
+    assert!(matches!(
+        session.save_table("t_disk", temp_path("rules2")),
+        Err(EngineError::SegmentBacked { .. })
+    ));
+    // But source() serves both.
+    assert_eq!(session.source("t").unwrap().num_rows(), 500);
+    assert_eq!(session.source("t_disk").unwrap().num_rows(), 500);
+
+    // Duplicate names and missing files are rejected.
+    assert!(matches!(
+        session.open_table("t_disk", &path),
+        Err(EngineError::DuplicateTable { .. })
+    ));
+    assert!(matches!(
+        session.open_table("missing", temp_path("nonexistent")),
+        Err(EngineError::Store(StoreError::Io { .. }))
+    ));
+    // Dropping a segment-backed table works like any other.
+    session.drop_table("t_disk").unwrap();
+    assert!(!session.contains("t_disk"));
+    std::fs::remove_file(&path).ok();
+}
