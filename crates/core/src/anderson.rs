@@ -36,6 +36,15 @@ pub struct AndersonState {
 }
 
 impl AndersonState {
+    /// Folds a batch of values in slice order — bit-identical to pushing the
+    /// values one at a time (the running sum accumulates in slice order).
+    pub fn push_batch(&mut self, values: &[f64]) {
+        self.sample.extend_from_slice(values);
+        for &v in values {
+            self.sum += v;
+        }
+    }
+
     /// Merges another partial state into this one by concatenating the
     /// retained samples (bounds are order-insensitive: they sort first) and
     /// summing the running sums in merge order.
@@ -128,6 +137,10 @@ impl ErrorBounder for AndersonDkw {
     fn update_state(&self, state: &mut Self::State, v: f64) {
         state.sample.push(v);
         state.sum += v;
+    }
+
+    fn update_batch(&self, state: &mut Self::State, values: &[f64]) {
+        state.push_batch(values);
     }
 
     fn lbound(&self, state: &Self::State, ctx: &BoundContext) -> f64 {

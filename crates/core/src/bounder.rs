@@ -202,6 +202,19 @@ pub trait ErrorBounder {
     /// Ë Folds a newly-seen value into the state.
     fn update_state(&self, state: &mut Self::State, v: f64);
 
+    /// Folds a batch of values into the state, in slice order.
+    ///
+    /// The contract is strict: the resulting state must be **bit-for-bit
+    /// identical** to calling [`Self::update_state`] once per element in the
+    /// same order. Batch execution is a dispatch/loop-overhead optimization,
+    /// never a numerical one — the engine's vectorized pipeline relies on
+    /// this to stay bitwise interchangeable with the scalar oracle path.
+    fn update_batch(&self, state: &mut Self::State, values: &[f64]) {
+        for &v in values {
+            self.update_state(state, v);
+        }
+    }
+
     /// Folds a partial state accumulated over a later scan partition into
     /// `state`. Deterministic for a fixed merge order (see
     /// [`crate::partial`]).
@@ -249,6 +262,16 @@ pub trait ErrorBounder {
 pub trait MeanEstimator: Send + std::any::Any {
     /// Observes a value that contributes to this aggregate.
     fn observe(&mut self, v: f64);
+
+    /// Observes a batch of values in slice order — bit-identical to calling
+    /// [`Self::observe`] once per element, but with a single virtual
+    /// dispatch for the whole batch. The engine's vectorized scan calls this
+    /// once per (block, view) pair instead of once per row.
+    fn observe_batch(&mut self, values: &[f64]) {
+        for &v in values {
+            self.observe(v);
+        }
+    }
 
     /// Merges `other` — a partial estimator of the **same concrete kind**
     /// accumulated over a later scan partition — into this one. Returns
@@ -309,6 +332,12 @@ impl<B: ErrorBounder> Estimator<B> {
 impl<B: ErrorBounder + Send + 'static> MeanEstimator for Estimator<B> {
     fn observe(&mut self, v: f64) {
         self.bounder.update_state(&mut self.state, v);
+    }
+
+    fn observe_batch(&mut self, values: &[f64]) {
+        // One virtual call per batch; the inner loop is monomorphized over
+        // the concrete bounder.
+        self.bounder.update_batch(&mut self.state, values);
     }
 
     fn merge_from(&mut self, other: &dyn MeanEstimator) -> bool {
@@ -584,6 +613,40 @@ mod tests {
                 (merged - sequential).abs() < 1e-9,
                 "{kind}: {merged} vs {sequential}"
             );
+        }
+    }
+
+    /// The batch entry points are dispatch optimizations, not numerical
+    /// ones: feeding a state one batch must leave it bit-for-bit identical
+    /// to the scalar update loop, for every bounder kind and any batch
+    /// split. The engine's vectorized-vs-scalar determinism guarantee rests
+    /// on this.
+    #[test]
+    fn observe_batch_is_bitwise_identical_to_scalar_updates() {
+        let values: Vec<f64> = (0..257)
+            .map(|i| ((i * 37) % 113) as f64 / 7.0 - 3.0)
+            .collect();
+        for kind in BounderKind::ALL {
+            let mut scalar = kind.make_estimator();
+            for &v in &values {
+                scalar.observe(v);
+            }
+            // Batch the same values in uneven chunks, including an empty one.
+            let mut batched = kind.make_estimator();
+            batched.observe_batch(&[]);
+            for chunk in values.chunks(61) {
+                batched.observe_batch(chunk);
+            }
+            assert_eq!(batched.count(), scalar.count(), "{kind}");
+            assert_eq!(
+                batched.estimate().map(f64::to_bits),
+                scalar.estimate().map(f64::to_bits),
+                "{kind}: batched estimate differs from scalar"
+            );
+            let ctx = BoundContext::new(-5.0, 20.0, 100_000, 1e-9).unwrap();
+            let (bi, si) = (batched.interval(&ctx), scalar.interval(&ctx));
+            assert_eq!(bi.lo.to_bits(), si.lo.to_bits(), "{kind}: lbound bits");
+            assert_eq!(bi.hi.to_bits(), si.hi.to_bits(), "{kind}: rbound bits");
         }
     }
 

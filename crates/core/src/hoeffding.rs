@@ -29,6 +29,16 @@ pub struct HoeffdingState {
 }
 
 impl HoeffdingState {
+    /// Folds a batch of values in slice order — bit-identical to the scalar
+    /// update of [`HoeffdingSerfling::update_state`] applied per element.
+    #[inline]
+    pub fn push_batch(&mut self, values: &[f64]) {
+        for &v in values {
+            self.m += 1;
+            self.mean += (v - self.mean) / self.m as f64;
+        }
+    }
+
     /// Merges another partial state into this one: the sample sizes add and
     /// the means combine count-weighted. Deterministic for a fixed merge
     /// order, which the engine's partitioned scan guarantees.
@@ -91,6 +101,10 @@ impl ErrorBounder for HoeffdingSerfling {
     fn update_state(&self, state: &mut Self::State, v: f64) {
         state.m += 1;
         state.mean += (v - state.mean) / state.m as f64;
+    }
+
+    fn update_batch(&self, state: &mut Self::State, values: &[f64]) {
+        state.push_batch(values);
     }
 
     fn lbound(&self, state: &Self::State, ctx: &BoundContext) -> f64 {

@@ -143,6 +143,39 @@ impl<B: ErrorBounder> ErrorBounder for RangeTrim<B> {
         }
     }
 
+    fn update_batch(&self, state: &mut Self::State, values: &[f64]) {
+        // Bit-identical to per-element `update_state` calls: the first-ever
+        // observation still only initializes the extremes, every later value
+        // is clipped against the extremes *before* it, and the running mean
+        // accumulates in slice order. Hoisting the Option match and extreme
+        // tracking out of the inner-state updates is the whole point of the
+        // batch entry: the per-value loop below is branch-free on the hot
+        // path.
+        let mut values = values;
+        if state.observed_min.is_none() {
+            let Some((&first, rest)) = values.split_first() else {
+                return;
+            };
+            state.count += 1;
+            state.mean += (first - state.mean) / state.count as f64;
+            state.observed_min = Some(first);
+            state.observed_max = Some(first);
+            values = rest;
+        }
+        let mut a_prime = state.observed_min.expect("initialized above");
+        let mut b_prime = state.observed_max.expect("initialized above");
+        for &v in values {
+            state.count += 1;
+            state.mean += (v - state.mean) / state.count as f64;
+            self.inner.update_state(&mut state.left, v.min(b_prime));
+            self.inner.update_state(&mut state.right, v.max(a_prime));
+            a_prime = a_prime.min(v);
+            b_prime = b_prime.max(v);
+        }
+        state.observed_min = Some(a_prime);
+        state.observed_max = Some(b_prime);
+    }
+
     fn lbound(&self, state: &Self::State, ctx: &BoundContext) -> f64 {
         match state.observed_max {
             None => ctx.a,

@@ -56,6 +56,18 @@ impl RunningMoments {
         }
     }
 
+    /// Observes a batch of values in slice order.
+    ///
+    /// Bit-identical to calling [`Self::push`] once per element: the batch
+    /// entry point exists so the vectorized scan pipeline can amortize call
+    /// overhead per block, never to change the arithmetic.
+    #[inline]
+    pub fn push_batch(&mut self, values: &[f64]) {
+        for &v in values {
+            self.push(v);
+        }
+    }
+
     /// Merges another accumulator into this one (parallel Welford / Chan et al.).
     pub fn merge(&mut self, other: &RunningMoments) {
         if other.count == 0 {

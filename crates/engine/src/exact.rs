@@ -57,6 +57,7 @@ pub fn execute_exact(source: &dyn BlockSource, query: &AggQuery) -> EngineResult
             if !predicate.matches(table, row) {
                 continue;
             }
+            stats.record_selected(1);
             let value = match query.aggregate {
                 AggregateFunction::Count => 1.0,
                 _ => match target.evaluate(table, row) {
@@ -132,6 +133,7 @@ pub fn execute_exact(source: &dyn BlockSource, query: &AggQuery) -> EngineResult
                 blocks_fetched: stats.blocks_fetched,
                 rows_scanned: stats.rows_scanned,
                 rows_matched: stats.rows_matched,
+                rows_selected: stats.rows_selected,
                 partitions: 1,
             },
             threads: 1,

@@ -43,6 +43,16 @@
 //! count. Budget row caps are enforced when blocks are *granted* to a round
 //! (before any worker sees them), so `max_rows` is never exceeded under
 //! concurrency.
+//!
+//! Within each partition, blocks execute **batch-at-a-time** by default
+//! ([`EngineConfig::vectorize`]): the predicate runs as a columnar filter
+//! kernel emitting a selection vector, only the columns the query
+//! references are decoded (projection pushdown on lazy sources), selected
+//! rows are partitioned by group id once, and each aggregate view receives
+//! one contiguous batch of values per block. The scalar row-at-a-time loop
+//! is retained as a differential-testing oracle; both paths feed every view
+//! its values in ascending row order and therefore produce bit-identical
+//! estimates, CI bounds and scan counters (see `crate::parallel`).
 
 use std::collections::HashMap;
 use std::time::Instant;
@@ -254,7 +264,17 @@ impl GroupLookup {
             GroupLookup::Multi { columns, lookup } => {
                 scratch.clear();
                 for &ci in columns {
-                    scratch.push(table.column_at(ci).category_code(row).unwrap_or(u32::MAX));
+                    // A column with no code at this row (it is not
+                    // categorical) means the row belongs to no group — made
+                    // explicit here rather than smuggled through a
+                    // `u32::MAX` sentinel key, so the scalar and batch
+                    // paths agree by construction. (Binding rejects
+                    // non-categorical GROUP BY columns, so this is a
+                    // defensive invariant, not a reachable fallback.)
+                    match table.column_at(ci).category_code(row) {
+                        Some(code) => scratch.push(code),
+                        None => return None,
+                    }
                 }
                 lookup.get(scratch).copied()
             }
@@ -446,6 +466,26 @@ fn run_progressive(
     // `crate::parallel`). `threads` is the pool size actually used (clamped
     // to the per-round partition cap), so metrics report reality.
     let threads = crate::parallel::effective_pool_size(config.effective_threads());
+    // The columns the query actually reads (target ∪ predicate ∪ group-by),
+    // in ascending order: the batch path pushes this projection down to the
+    // block source so lazy backings decode only referenced chunks. The
+    // scalar oracle path reads full blocks, exactly as it always has.
+    let vectorize = config.effective_vectorize();
+    let projection = vectorize.then(|| {
+        let mut cols = bound.target.referenced_columns();
+        for c in bound
+            .predicate
+            .referenced_columns()
+            .into_iter()
+            .chain(bound.group_cols.iter().copied())
+        {
+            if !cols.contains(&c) {
+                cols.push(c);
+            }
+        }
+        cols.sort_unstable();
+        cols
+    });
     let scan_ctx = ScanContext {
         source,
         bound: &bound,
@@ -453,6 +493,8 @@ fn run_progressive(
         bounder: config.bounder,
         lookup: &lookup,
         num_views,
+        vectorize,
+        projection,
     };
 
     // Numeric range conjuncts feed zone-map block skipping (all strategies).
@@ -730,6 +772,11 @@ fn merge_pending(
     }
     for partial in partials {
         state.exec.merge(&partial.exec);
+        // Selection-funnel counter: how many decoded rows survived the
+        // predicate. Worker-reported (the coordinator cannot know it), so
+        // it is single-sourced — unlike the two-sided fetch accounting
+        // above.
+        state.stats.record_selected(partial.exec.rows_selected);
         for vp in partial.views {
             // `ScanStats::rows_matched` is rebuilt from the per-view deltas
             // being merged, a different worker-side structure than the

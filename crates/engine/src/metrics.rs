@@ -23,6 +23,13 @@ pub struct ExecMetrics {
     pub rows_scanned: u64,
     /// Rows that matched the predicate and were routed to an aggregate view.
     pub rows_matched: u64,
+    /// Rows that survived the predicate filter, before group routing — the
+    /// selection-vector length on the vectorized path, the per-row
+    /// predicate-pass count on the scalar path. Always `>= rows_matched`
+    /// (selected rows whose group is absent or whose target expression has
+    /// no value do not match) and `<= rows_scanned` — the decoded-vs-
+    /// selected funnel of the batch pipeline.
+    pub rows_selected: u64,
     /// Scan partitions processed (one partial state each).
     pub partitions: u64,
 }
@@ -41,11 +48,18 @@ impl ExecMetrics {
         self.rows_matched += rows;
     }
 
+    /// Records rows that survived the predicate filter.
+    #[inline]
+    pub fn record_selected(&mut self, rows: u64) {
+        self.rows_selected += rows;
+    }
+
     /// Folds another worker's counters into this one (round-end merge).
     pub fn merge(&mut self, other: &ExecMetrics) {
         self.blocks_fetched += other.blocks_fetched;
         self.rows_scanned += other.rows_scanned;
         self.rows_matched += other.rows_matched;
+        self.rows_selected += other.rows_selected;
         self.partitions += other.partitions;
     }
 }
@@ -76,6 +90,17 @@ impl QueryMetrics {
     /// Blocks fetched — the paper's hardware-independent cost metric.
     pub fn blocks_fetched(&self) -> u64 {
         self.scan.blocks_fetched
+    }
+
+    /// Rows decoded out of fetched blocks (the top of the selection funnel).
+    pub fn rows_decoded(&self) -> u64 {
+        self.scan.rows_scanned
+    }
+
+    /// Rows that survived the predicate filter (the middle of the funnel;
+    /// `rows_sampled` — rows routed to a view — is the bottom).
+    pub fn rows_selected(&self) -> u64 {
+        self.scan.rows_selected
     }
 
     /// Speedup of this execution relative to a baseline, by wall time.

@@ -22,11 +22,51 @@
 //! The pool lives for the whole query (workers are spawned once inside a
 //! `crossbeam::thread::scope` and fed rounds through channels), so per-round
 //! overhead is a handful of channel operations, not thread spawns.
+//!
+//! ## Batch (vectorized) execution
+//!
+//! Within a partition, each block is processed by one of two interchangeable
+//! inner loops, selected by [`EngineConfig::vectorize`]:
+//!
+//! * the **batch path** (default) reads the block through projection
+//!   pushdown ([`BlockSource::read_block_projected`] decodes only the
+//!   columns the query references), evaluates the predicate as a columnar
+//!   filter kernel producing a [`SelectionVector`], partitions the selected
+//!   rows by group id once, and feeds every touched aggregate view one
+//!   contiguous batch of target values per block
+//!   ([`MeanEstimator::observe_batch`] — a single virtual dispatch per
+//!   (block, view) pair);
+//! * the **scalar path** walks rows one at a time — predicate tree walk,
+//!   per-row group lookup, one `observe` per value — exactly as the
+//!   pre-vectorization engine did, and is kept as a differential-testing
+//!   oracle.
+//!
+//! Both paths feed each view its values in ascending row order, so the
+//! accumulated estimator states — and every estimate and CI bound derived
+//! from them — are **bit-for-bit identical** between the two, on either
+//! backing, at any thread count. `tests/vectorized.rs` asserts this
+//! property over random queries.
+//!
+//! One deliberate carve-out on the *error* path: projection pushdown means
+//! a segment-backed batch scan never reads — and therefore never
+//! CRC-checks — chunks of columns the query does not reference, so
+//! corruption confined to an unreferenced column fails the query only on
+//! the scalar (full-decode) path. Results of *successful* queries are
+//! unaffected.
+//!
+//! [`EngineConfig::vectorize`]: crate::config::EngineConfig::vectorize
+//! [`MeanEstimator::observe_batch`]:
+//!     fastframe_core::bounder::MeanEstimator::observe_batch
+//! [`BlockSource::read_block_projected`]:
+//!     fastframe_store::source::BlockSource::read_block_projected
 
 use fastframe_core::bounder::{BounderKind, BoxedEstimator};
 
 use fastframe_store::block::BlockId;
+use fastframe_store::expr::BoundExpr;
+use fastframe_store::selection::{SelectionScratch, SelectionVector};
 use fastframe_store::source::BlockSource;
+use fastframe_store::table::Table;
 
 use crate::executor::{BoundQuery, GroupLookup};
 use crate::metrics::ExecMetrics;
@@ -69,6 +109,14 @@ pub(crate) struct ScanContext<'a> {
     pub lookup: &'a GroupLookup,
     /// Total number of aggregate views.
     pub num_views: usize,
+    /// Whether partitions scan with the vectorized batch kernels or the
+    /// scalar row-at-a-time oracle loop. Never changes results, only the
+    /// execution strategy.
+    pub vectorize: bool,
+    /// Column indexes the query references (ascending), pushed down to the
+    /// block source so lazy backings decode only those chunks. `Some` only
+    /// on the batch path; the scalar oracle reads full blocks.
+    pub projection: Option<Vec<usize>>,
 }
 
 /// One aggregate view's accumulation over one partition.
@@ -151,13 +199,31 @@ impl PartialViews {
 
 /// Scans one partition's blocks in block order, producing its partial.
 ///
-/// Blocks are obtained through [`BlockSource::read_block`]: a zero-copy view
-/// for in-memory scrambles, an on-demand decode for segment readers. A read
-/// failure mid-scan (file truncated or rotted *after* open-time validation
-/// passed) stops the partition and is carried back in the partial; the
-/// coordinator fails the whole query with it, so callers get an
-/// `EngineResult::Err` instead of a crash.
+/// Dispatches to the vectorized batch loop or the scalar oracle loop per
+/// [`ScanContext::vectorize`]; the two produce bit-identical partials.
+///
+/// Blocks are obtained through the [`BlockSource`] read methods: a zero-copy
+/// view for in-memory scrambles, an on-demand (possibly projected) decode
+/// for segment readers. A read failure mid-scan (file truncated or rotted
+/// *after* open-time validation passed) stops the partition and is carried
+/// back in the partial; the coordinator fails the whole query with it, so
+/// callers get an `EngineResult::Err` instead of a crash.
 pub(crate) fn scan_partition(
+    ctx: &ScanContext<'_>,
+    index: usize,
+    blocks: &[BlockId],
+) -> PartitionPartial {
+    if ctx.vectorize {
+        scan_partition_batch(ctx, index, blocks)
+    } else {
+        scan_partition_scalar(ctx, index, blocks)
+    }
+}
+
+/// The row-at-a-time scan loop: predicate tree walk, group lookup and one
+/// estimator `observe` per row. Kept verbatim as the differential-testing
+/// oracle for the batch path.
+fn scan_partition_scalar(
     ctx: &ScanContext<'_>,
     index: usize,
     blocks: &[BlockId],
@@ -181,6 +247,7 @@ pub(crate) fn scan_partition(
             if !ctx.bound.predicate.matches(table, row) {
                 continue;
             }
+            exec.record_selected(1);
             let value = match ctx.aggregate {
                 AggregateFunction::Count => 1.0,
                 _ => match ctx.bound.target.evaluate(table, row) {
@@ -204,6 +271,251 @@ pub(crate) fn scan_partition(
         views: views.into_sorted(),
         error,
         panic: None,
+    }
+}
+
+/// The batch scan loop: projected block reads, columnar predicate kernels
+/// into a [`SelectionVector`], one group-routing pass over the selected
+/// rows, and one `observe_batch` per (block, view) pair — each view's
+/// values in ascending row order, so the accumulated state is bit-identical
+/// to the scalar loop's.
+fn scan_partition_batch(
+    ctx: &ScanContext<'_>,
+    index: usize,
+    blocks: &[BlockId],
+) -> PartitionPartial {
+    let mut views = PartialViews::new(ctx.num_views);
+    let mut scratch: Vec<u32> = Vec::with_capacity(4);
+    let mut exec = ExecMetrics::default();
+    let mut error = None;
+    let mut router = BatchRouter::new(ctx.num_views);
+    // One selection (plus a scratch pool for Or/Not temporaries) reused
+    // across all of the partition's blocks: blocks are small (25 rows by
+    // default), so per-block allocation would dominate the kernels
+    // themselves.
+    let mut sel = SelectionVector::empty();
+    let mut filter_scratch = SelectionScratch::new();
+
+    for &block in blocks {
+        let block_ref = match ctx
+            .source
+            .read_block_projected(block, ctx.projection.as_deref())
+        {
+            Ok(b) => b,
+            Err(e) => {
+                error = Some(e);
+                break;
+            }
+        };
+        let table = block_ref.table();
+        exec.record_block(block_ref.len() as u64);
+        ctx.bound.predicate.filter_block_scratch(
+            table,
+            block_ref.rows(),
+            &mut sel,
+            &mut filter_scratch,
+        );
+        exec.record_selected(sel.len() as u64);
+        if sel.is_empty() {
+            continue;
+        }
+        let kernel = ValueKernel::for_block(ctx, table);
+        router.route_block(
+            ctx,
+            table,
+            &sel,
+            &kernel,
+            &mut views,
+            &mut scratch,
+            &mut exec,
+        );
+    }
+    exec.partitions = 1;
+
+    PartitionPartial {
+        index,
+        exec,
+        views: views.into_sorted(),
+        error,
+        panic: None,
+    }
+}
+
+/// Per-block gather strategy for the target expression's value of one
+/// selected row. Resolved once per block so the common cases — COUNT and a
+/// plain column target — read raw storage instead of re-walking the
+/// expression per row. Every variant returns exactly the value the scalar
+/// path's `BoundExpr::evaluate` would (integers widened to `f64` the same
+/// way), preserving bit-identity.
+enum ValueKernel<'a> {
+    /// COUNT aggregates observe the constant 1 per matching row.
+    One,
+    /// Target is a raw `Float64` column: direct slice gather.
+    Floats(&'a [f64]),
+    /// Target is a raw `Int64` column, widened per value.
+    Ints(&'a [i64]),
+    /// Composite expression: evaluated per selected row (same arithmetic,
+    /// same order as the scalar path).
+    Expr(&'a BoundExpr),
+}
+
+impl<'a> ValueKernel<'a> {
+    fn for_block(ctx: &ScanContext<'a>, table: &'a Table) -> Self {
+        if ctx.aggregate == AggregateFunction::Count {
+            return ValueKernel::One;
+        }
+        if let BoundExpr::Column(i) = &ctx.bound.target {
+            let column = table.column_at(*i);
+            if let Some(values) = column.float_values() {
+                return ValueKernel::Floats(values);
+            }
+            if let Some(values) = column.int_values() {
+                return ValueKernel::Ints(values);
+            }
+        }
+        ValueKernel::Expr(&ctx.bound.target)
+    }
+
+    /// The target value of `row`, or `None` when the expression has no
+    /// value there (the scalar path skips such rows before routing).
+    #[inline]
+    fn value(&self, table: &Table, row: usize) -> Option<f64> {
+        match self {
+            ValueKernel::One => Some(1.0),
+            ValueKernel::Floats(values) => values.get(row).copied(),
+            ValueKernel::Ints(values) => values.get(row).map(|&v| v as f64),
+            ValueKernel::Expr(expr) => expr.evaluate(table, row),
+        }
+    }
+}
+
+/// Partitions a block's selected rows by aggregate-view id, buffering each
+/// view's target values in ascending row order, then flushes every touched
+/// view with a single `observe_batch`.
+///
+/// For group universes up to [`DENSE_VIEW_LIMIT`] the buffers are dense
+/// (view id indexes straight into a slot, allocated once per partition and
+/// reused across blocks). Above the limit the per-block dense sweep would
+/// dominate, so rows fall back to immediate per-row observation — identical
+/// results, same shape as the scalar loop.
+struct BatchRouter {
+    /// Per-view value buffers for the block being routed (dense mode).
+    buffers: Vec<Vec<f64>>,
+    /// View ids with a non-empty buffer, in first-touch order.
+    touched: Vec<u32>,
+}
+
+impl BatchRouter {
+    fn new(num_views: usize) -> Self {
+        let dense = num_views <= DENSE_VIEW_LIMIT;
+        Self {
+            buffers: if dense {
+                (0..num_views).map(|_| Vec::new()).collect()
+            } else {
+                Vec::new()
+            },
+            touched: Vec::new(),
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn route_block(
+        &mut self,
+        ctx: &ScanContext<'_>,
+        table: &Table,
+        sel: &SelectionVector,
+        kernel: &ValueKernel<'_>,
+        views: &mut PartialViews,
+        scratch: &mut Vec<u32>,
+        exec: &mut ExecMetrics,
+    ) {
+        if self.buffers.is_empty() {
+            // Sparse universe: observe per row, exactly like the scalar loop.
+            for &r in sel.rows() {
+                let row = r as usize;
+                let Some(value) = kernel.value(table, row) else {
+                    continue;
+                };
+                if let Some(view_id) = ctx.lookup.view_of(table, row, scratch) {
+                    let (matched, estimator) = views.slot(view_id, ctx.bounder);
+                    estimator.observe(value);
+                    *matched += 1;
+                    exec.record_matches(1);
+                }
+            }
+            return;
+        }
+
+        match ctx.lookup {
+            GroupLookup::Global => {
+                let buffer = &mut self.buffers[0];
+                for &r in sel.rows() {
+                    if let Some(value) = kernel.value(table, r as usize) {
+                        buffer.push(value);
+                    }
+                }
+                if !buffer.is_empty() {
+                    self.touched.push(0);
+                }
+            }
+            GroupLookup::SingleColumn {
+                column,
+                views_by_code,
+            } => {
+                // One columnar pass over the group column's codes; a code
+                // that maps to no view (or a non-categorical column, which
+                // the scalar path treats as "no group") routes nowhere.
+                if let Some(codes) = table.column_at(*column).category_codes() {
+                    for &r in sel.rows() {
+                        let row = r as usize;
+                        let Some(&view) = views_by_code.get(codes[row] as usize) else {
+                            continue;
+                        };
+                        if view == u32::MAX {
+                            continue;
+                        }
+                        let Some(value) = kernel.value(table, row) else {
+                            continue;
+                        };
+                        let buffer = &mut self.buffers[view as usize];
+                        if buffer.is_empty() {
+                            self.touched.push(view);
+                        }
+                        buffer.push(value);
+                    }
+                }
+            }
+            GroupLookup::Multi { .. } => {
+                for &r in sel.rows() {
+                    let row = r as usize;
+                    let Some(value) = kernel.value(table, row) else {
+                        continue;
+                    };
+                    let Some(view_id) = ctx.lookup.view_of(table, row, scratch) else {
+                        continue;
+                    };
+                    let buffer = &mut self.buffers[view_id];
+                    if buffer.is_empty() {
+                        self.touched.push(view_id as u32);
+                    }
+                    buffer.push(value);
+                }
+            }
+        }
+
+        // Flush: one observe_batch per touched view, values in ascending
+        // row order. Flush order across views is irrelevant to results
+        // (views are independent) but deterministic anyway (first-touch
+        // order is a pure function of the block's data).
+        for &view in &self.touched {
+            let buffer = &mut self.buffers[view as usize];
+            let (matched, estimator) = views.slot(view as usize, ctx.bounder);
+            estimator.observe_batch(buffer);
+            *matched += buffer.len() as u64;
+            exec.record_matches(buffer.len() as u64);
+            buffer.clear();
+        }
+        self.touched.clear();
     }
 }
 

@@ -468,6 +468,14 @@ impl<'s> QueryBuilder<'s> {
         self.tune(|c| c.threads(threads))
     }
 
+    /// Pins batch (vectorized) execution on or off for this query (see
+    /// [`EngineConfig::effective_vectorize`]). Like the thread count, the
+    /// execution mode never changes results — the scalar path is the
+    /// bit-identical differential-testing oracle of the batch kernels.
+    pub fn vectorize(self, vectorize: bool) -> Self {
+        self.tune(|c| c.vectorize(vectorize))
+    }
+
     /// Tweaks the effective configuration through a builder seeded with the
     /// current one (the session defaults unless [`Self::config`] was called):
     /// `…​.tune(|c| c.delta(0.05).round_rows(10_000))`.

@@ -205,6 +205,35 @@ impl Column {
         }
     }
 
+    /// The raw float storage, if the column is `Float64`. The batch filter
+    /// and gather kernels read whole blocks through these slice accessors
+    /// instead of per-row [`Self::numeric_value`] calls.
+    #[inline]
+    pub fn float_values(&self) -> Option<&[f64]> {
+        match &self.data {
+            ColumnData::Float64(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The raw integer storage, if the column is `Int64`.
+    #[inline]
+    pub fn int_values(&self) -> Option<&[i64]> {
+        match &self.data {
+            ColumnData::Int64(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The per-row dictionary codes, if the column is categorical.
+    #[inline]
+    pub fn category_codes(&self) -> Option<&[u32]> {
+        match &self.data {
+            ColumnData::Categorical { codes, .. } => Some(codes),
+            _ => None,
+        }
+    }
+
     /// The dictionary of a categorical column.
     pub fn dictionary(&self) -> Option<&Arc<Vec<String>>> {
         match &self.data {

@@ -190,6 +190,31 @@ pub enum BoundExpr {
 }
 
 impl BoundExpr {
+    /// The column indexes the expression reads, in first-occurrence order —
+    /// the engine's projection pushdown decodes exactly these (plus the
+    /// predicate and group-by columns).
+    pub fn referenced_columns(&self) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.collect_columns(&mut out);
+        out
+    }
+
+    fn collect_columns(&self, out: &mut Vec<usize>) {
+        match self {
+            BoundExpr::Column(i) => {
+                if !out.contains(i) {
+                    out.push(*i);
+                }
+            }
+            BoundExpr::Literal(_) => {}
+            BoundExpr::Add(a, b) | BoundExpr::Sub(a, b) | BoundExpr::Mul(a, b) => {
+                a.collect_columns(out);
+                b.collect_columns(out);
+            }
+            BoundExpr::Neg(a) | BoundExpr::Abs(a) | BoundExpr::Pow(a, _) => a.collect_columns(out),
+        }
+    }
+
     /// Evaluates the expression for one row. Returns `None` if any referenced
     /// cell is missing (out-of-range row).
     pub fn evaluate(&self, table: &Table, row: usize) -> Option<f64> {

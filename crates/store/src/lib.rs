@@ -41,6 +41,7 @@ pub mod expr;
 pub mod persist;
 pub mod predicate;
 pub mod scramble;
+pub mod selection;
 pub mod source;
 pub mod stats;
 pub mod table;

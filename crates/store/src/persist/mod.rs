@@ -82,6 +82,46 @@ mod tests {
         ))
     }
 
+    /// Projected reads decode exactly the requested columns and leave the
+    /// rest as positioned zero-row placeholders with intact schema metadata.
+    #[test]
+    fn projected_block_read_decodes_only_requested_columns() {
+        let s = scramble();
+        let path = temp_path("projected");
+        write_segment(&s, &path).unwrap();
+        let r = SegmentReader::open(&path).unwrap();
+
+        for block in [0usize, s.num_blocks() - 1] {
+            let full = r.read_block(BlockId(block)).unwrap();
+            let projected = r
+                .read_block_projected(BlockId(block), Some(&[0, 2]))
+                .unwrap();
+            assert_eq!(projected.rows(), full.rows());
+            assert_eq!(projected.len(), full.len());
+            let pt = projected.table();
+            let ft = full.table();
+            // Projected columns carry identical data...
+            for row in projected.rows() {
+                assert_eq!(
+                    pt.column_at(0).numeric_value(row),
+                    ft.column_at(0).numeric_value(row)
+                );
+                assert_eq!(
+                    pt.column_at(2).category_code(row),
+                    ft.column_at(2).category_code(row)
+                );
+            }
+            // ...while the out-of-projection column keeps its position,
+            // name and type but holds no rows.
+            assert_eq!(pt.column_at(1).name(), "dep_time");
+            assert!(pt.column_at(1).is_empty());
+        }
+        // `None` means every column, matching read_block exactly.
+        let all = r.read_block_projected(BlockId(0), None).unwrap();
+        assert_eq!(all.table().column_at(1).len(), all.len());
+        std::fs::remove_file(&path).ok();
+    }
+
     #[test]
     fn segment_round_trips_layout_catalog_and_blocks() {
         let s = scramble();

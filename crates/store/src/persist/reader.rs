@@ -295,7 +295,7 @@ impl SegmentReader {
         let num_columns = self.schema.num_columns();
         let mut per_column: Vec<Vec<Column>> = (0..num_columns).map(|_| Vec::new()).collect();
         for block in 0..self.layout.num_blocks() {
-            let decoded = self.decode_block(BlockId(block))?;
+            let decoded = self.decode_block_cols(BlockId(block), None)?;
             for (ci, col) in decoded.into_iter().enumerate() {
                 per_column[ci].push(col);
             }
@@ -315,8 +315,15 @@ impl SegmentReader {
         ))
     }
 
-    /// Decodes the columns of one block.
-    fn decode_block(&self, block: BlockId) -> StoreResult<Vec<Column>> {
+    /// Decodes the columns of one block. With a projection, only the listed
+    /// columns' chunks are read (and CRC-checked); the rest are zero-row
+    /// placeholders cloned from the schema, keeping their position, name,
+    /// type and dictionary.
+    fn decode_block_cols(
+        &self,
+        block: BlockId,
+        projection: Option<&[usize]>,
+    ) -> StoreResult<Vec<Column>> {
         if block.index() >= self.layout.num_blocks() {
             return Err(StoreError::corrupt(
                 &self.path,
@@ -328,6 +335,12 @@ impl SegmentReader {
         let row_count = rows.end - rows.start;
         let mut columns = Vec::with_capacity(num_columns);
         for ci in 0..num_columns {
+            if let Some(wanted) = projection {
+                if !wanted.contains(&ci) {
+                    columns.push(self.schema.column_at(ci).clone());
+                    continue;
+                }
+            }
             let entry = self.directory[block.index() * num_columns + ci];
             let bytes = read_at(&self.file, &self.path, entry.offset, entry.len as usize)?;
             let actual = crc32(&bytes);
@@ -383,7 +396,27 @@ impl BlockSource for SegmentReader {
     }
 
     fn read_block(&self, block: BlockId) -> StoreResult<BlockRef<'_>> {
-        Ok(BlockRef::owned(Table::new(self.decode_block(block)?)?))
+        Ok(BlockRef::owned(Table::new(
+            self.decode_block_cols(block, None)?,
+        )?))
+    }
+
+    fn read_block_projected(
+        &self,
+        block: BlockId,
+        projection: Option<&[usize]>,
+    ) -> StoreResult<BlockRef<'_>> {
+        let Some(wanted) = projection else {
+            return self.read_block(block);
+        };
+        let rows = self.layout.rows_of(block);
+        let columns = self.decode_block_cols(block, Some(wanted))?;
+        // Placeholder columns are zero-row, so the row count is declared
+        // rather than derived.
+        Ok(BlockRef::owned(Table::with_placeholders(
+            columns,
+            rows.end - rows.start,
+        )?))
     }
 
     fn distinct_group_tuples(&self, columns: &[usize]) -> StoreResult<Vec<Vec<u32>>> {
@@ -415,7 +448,7 @@ fn source_default_distinct(
     let mut seen: std::collections::HashSet<Vec<u32>> = std::collections::HashSet::new();
     let mut out = Vec::new();
     for block in 0..reader.layout.num_blocks() {
-        let block_ref = BlockSource::read_block(reader, BlockId(block))?;
+        let block_ref = BlockSource::read_block_projected(reader, BlockId(block), Some(columns))?;
         let table = block_ref.table();
         for row in block_ref.rows() {
             let codes: Vec<u32> = columns

@@ -7,6 +7,8 @@
 //! evaluation, resolving column names to indexes and categorical values to
 //! dictionary codes so that the per-row check is cheap.
 
+use crate::column::Column;
+use crate::selection::{SelectionScratch, SelectionVector};
 use crate::table::{StoreError, StoreResult, Table};
 
 /// An unbound (name-based) predicate.
@@ -223,6 +225,63 @@ pub enum BoundPredicate {
     Not(Box<BoundPredicate>),
 }
 
+/// Applies a numeric comparison kernel over the column's raw storage,
+/// narrowing `sel` to the rows that satisfy `keep`. Integer columns are
+/// widened to `f64` exactly as the scalar path's
+/// [`Column::numeric_value`] does; a non-numeric column clears the
+/// selection (the scalar path returns `false` for every row).
+#[inline]
+fn retain_numeric(column: &Column, sel: &mut SelectionVector, keep: impl Fn(f64) -> bool) {
+    // `get` mirrors the scalar path's `numeric_value`: a row beyond the
+    // column's storage (a zero-row projection placeholder) matches nothing
+    // rather than panicking.
+    if let Some(values) = column.float_values() {
+        sel.retain(|r| values.get(r as usize).is_some_and(|&v| keep(v)));
+    } else if let Some(values) = column.int_values() {
+        sel.retain(|r| values.get(r as usize).is_some_and(|&v| keep(v as f64)));
+    } else {
+        sel.clear();
+    }
+}
+
+/// Fills `sel` by scanning the row range's slice of one column's raw
+/// storage — the seed kernel of a leaf predicate at the root of a filter.
+/// Iterating the pre-sliced storage keeps the hot loop free of per-row
+/// bounds checks; `sel` arrives cleared and keeps its allocation. Rows
+/// beyond the column's storage (a zero-row projection placeholder) match
+/// nothing, exactly as the scalar path's per-row accessors return `None`.
+#[inline]
+fn seed<T: Copy>(
+    values: &[T],
+    rows: std::ops::Range<usize>,
+    keep: impl Fn(T) -> bool,
+    sel: &mut SelectionVector,
+) {
+    let base = rows.start as u32;
+    let end = rows.end.min(values.len());
+    let Some(slice) = values.get(rows.start..end) else {
+        return;
+    };
+    sel.fill_where(base, slice.len(), |i| keep(slice[i]));
+}
+
+/// Seed kernel for a numeric leaf over the column's raw storage. A
+/// non-numeric column leaves `sel` empty (the scalar path rejects every
+/// row).
+#[inline]
+fn seed_numeric(
+    column: &Column,
+    rows: std::ops::Range<usize>,
+    keep: impl Fn(f64) -> bool,
+    sel: &mut SelectionVector,
+) {
+    if let Some(values) = column.float_values() {
+        seed(values, rows, keep, sel);
+    } else if let Some(values) = column.int_values() {
+        seed(values, rows, |v| keep(v as f64), sel);
+    }
+}
+
 impl BoundPredicate {
     /// Evaluates the predicate for one row of `table`.
     pub fn matches(&self, table: &Table, row: usize) -> bool {
@@ -246,6 +305,206 @@ impl BoundPredicate {
             BoundPredicate::And(children) => children.iter().all(|c| c.matches(table, row)),
             BoundPredicate::Or(children) => children.iter().any(|c| c.matches(table, row)),
             BoundPredicate::Not(child) => !child.matches(table, row),
+        }
+    }
+
+    /// Evaluates the predicate over a whole block as a columnar filter
+    /// kernel, returning the selection of matching rows in ascending order.
+    ///
+    /// The result is exactly the set of rows in `rows` for which
+    /// [`Self::matches`] returns true — the batch kernels are an execution
+    /// strategy, not a semantic change — but each conjunct touches one
+    /// column's raw storage in a tight loop (dictionary codes for `CatEq`,
+    /// raw `f64`/`i64` slices for numeric comparisons) instead of walking
+    /// the predicate tree per row.
+    ///
+    /// Leaves and `And`/`Or` roots *seed* the selection straight from the
+    /// column scan — for a selective first conjunct the full-range index
+    /// vector is never materialized; only `True` and `Not` roots pay for
+    /// the dense `0..n` seed before refining.
+    pub fn filter_block(&self, table: &Table, rows: std::ops::Range<usize>) -> SelectionVector {
+        let mut sel = SelectionVector::empty();
+        self.filter_block_into(table, rows, &mut sel);
+        sel
+    }
+
+    /// [`Self::filter_block`] writing into a caller-owned selection whose
+    /// allocation is reused — blocks are small (the paper scans 25-row
+    /// blocks), so the scan loop calls this tens of thousands of times per
+    /// query and a per-block allocation would dominate the kernels.
+    pub fn filter_block_into(
+        &self,
+        table: &Table,
+        rows: std::ops::Range<usize>,
+        sel: &mut SelectionVector,
+    ) {
+        let mut scratch = SelectionScratch::new();
+        self.filter_block_scratch(table, rows, sel, &mut scratch);
+    }
+
+    /// [`Self::filter_block_into`] with a caller-owned scratch pool for the
+    /// temporaries `Or` and `Not` need — the form the scan loop uses, so
+    /// nested boolean predicates reuse their buffers across blocks just
+    /// like the root selection.
+    pub fn filter_block_scratch(
+        &self,
+        table: &Table,
+        rows: std::ops::Range<usize>,
+        sel: &mut SelectionVector,
+        scratch: &mut SelectionScratch,
+    ) {
+        debug_assert!(
+            rows.end <= u32::MAX as usize,
+            "row index overflows the u32 selection representation"
+        );
+        sel.clear();
+        match self {
+            BoundPredicate::True => sel.reset_to_all(rows),
+            BoundPredicate::CatEq { column, code } => {
+                if let Some(codes) = table.column_at(*column).category_codes() {
+                    seed(codes, rows, |c| c == *code, sel);
+                }
+            }
+            BoundPredicate::NumGt { column, threshold } => {
+                seed_numeric(table.column_at(*column), rows, |v| v > *threshold, sel);
+            }
+            BoundPredicate::NumLt { column, threshold } => {
+                seed_numeric(table.column_at(*column), rows, |v| v < *threshold, sel);
+            }
+            BoundPredicate::NumBetween { column, low, high } => {
+                seed_numeric(
+                    table.column_at(*column),
+                    rows,
+                    |v| v >= *low && v <= *high,
+                    sel,
+                );
+            }
+            BoundPredicate::And(children) => match children.split_first() {
+                None => sel.reset_to_all(rows),
+                Some((first, rest)) => {
+                    first.filter_block_scratch(table, rows, sel, scratch);
+                    for child in rest {
+                        if sel.is_empty() {
+                            break;
+                        }
+                        child.refine_scratch(table, sel, scratch);
+                    }
+                }
+            },
+            BoundPredicate::Or(children) => {
+                // One pooled child selection reused across the disjuncts
+                // (and, via the scratch, across blocks).
+                let mut child_sel = scratch.take();
+                for child in children {
+                    child.filter_block_scratch(table, rows.clone(), &mut child_sel, scratch);
+                    sel.union_with(&child_sel);
+                }
+                scratch.put(child_sel);
+            }
+            BoundPredicate::Not(_) => {
+                sel.reset_to_all(rows);
+                self.refine_scratch(table, sel, scratch);
+            }
+        }
+    }
+
+    /// Narrows `sel` in place to the rows satisfying this predicate.
+    ///
+    /// Boolean structure composes as selection-set algebra: `And` refines
+    /// the selection through each conjunct in turn (intersection, with an
+    /// empty-selection early exit), `Or` unions the children's refinements
+    /// of the candidate set, and `Not` subtracts the child's matches from
+    /// the candidates.
+    pub fn refine(&self, table: &Table, sel: &mut SelectionVector) {
+        let mut scratch = SelectionScratch::new();
+        self.refine_scratch(table, sel, &mut scratch);
+    }
+
+    /// [`Self::refine`] drawing `Or`/`Not` temporaries from a caller-owned
+    /// scratch pool instead of allocating them.
+    pub fn refine_scratch(
+        &self,
+        table: &Table,
+        sel: &mut SelectionVector,
+        scratch: &mut SelectionScratch,
+    ) {
+        match self {
+            BoundPredicate::True => {}
+            BoundPredicate::CatEq { column, code } => {
+                match table.column_at(*column).category_codes() {
+                    Some(codes) => {
+                        sel.retain(|r| codes.get(r as usize) == Some(code));
+                    }
+                    // Scalar semantics: a non-categorical column never
+                    // equals a dictionary code.
+                    None => sel.clear(),
+                }
+            }
+            BoundPredicate::NumGt { column, threshold } => {
+                retain_numeric(table.column_at(*column), sel, |v| v > *threshold);
+            }
+            BoundPredicate::NumLt { column, threshold } => {
+                retain_numeric(table.column_at(*column), sel, |v| v < *threshold);
+            }
+            BoundPredicate::NumBetween { column, low, high } => {
+                retain_numeric(table.column_at(*column), sel, |v| v >= *low && v <= *high);
+            }
+            BoundPredicate::And(children) => {
+                for child in children {
+                    if sel.is_empty() {
+                        break;
+                    }
+                    child.refine_scratch(table, sel, scratch);
+                }
+            }
+            BoundPredicate::Or(children) => {
+                let mut union = scratch.take();
+                let mut candidate = scratch.take();
+                for child in children {
+                    candidate.clone_from(sel);
+                    child.refine_scratch(table, &mut candidate, scratch);
+                    union.union_with(&candidate);
+                }
+                std::mem::swap(sel, &mut union);
+                scratch.put(union);
+                scratch.put(candidate);
+            }
+            BoundPredicate::Not(child) => {
+                let mut matched = scratch.take();
+                matched.clone_from(sel);
+                child.refine_scratch(table, &mut matched, scratch);
+                sel.subtract(&matched);
+                scratch.put(matched);
+            }
+        }
+    }
+
+    /// The column indexes this predicate reads, in first-occurrence order —
+    /// the engine's projection pushdown decodes exactly these (plus the
+    /// target and group-by columns).
+    pub fn referenced_columns(&self) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.collect_columns(&mut out);
+        out
+    }
+
+    fn collect_columns(&self, out: &mut Vec<usize>) {
+        match self {
+            BoundPredicate::True => {}
+            BoundPredicate::CatEq { column, .. }
+            | BoundPredicate::NumGt { column, .. }
+            | BoundPredicate::NumLt { column, .. }
+            | BoundPredicate::NumBetween { column, .. } => {
+                if !out.contains(column) {
+                    out.push(*column);
+                }
+            }
+            BoundPredicate::And(children) | BoundPredicate::Or(children) => {
+                for c in children {
+                    c.collect_columns(out);
+                }
+            }
+            BoundPredicate::Not(child) => child.collect_columns(out),
         }
     }
 }
@@ -404,6 +663,120 @@ mod tests {
         let p = Predicate::Not(Box::new(Predicate::num_gt("delay", 5.0)));
         assert!(p.range_filters().is_empty());
         assert!(Predicate::True.range_filters().is_empty());
+    }
+
+    /// The filter kernels are a pure execution-strategy change: for every
+    /// predicate shape (leaves, And/Or/Not nesting), `filter_block` must
+    /// select exactly the rows the scalar `matches` accepts, in ascending
+    /// order.
+    #[test]
+    fn filter_block_matches_scalar_evaluation() {
+        let t = table();
+        let predicates = vec![
+            Predicate::True,
+            Predicate::cat_eq("airline", "UA"),
+            Predicate::num_gt("dep_time", 1000.0),
+            Predicate::num_lt("delay", 1.0),
+            Predicate::NumBetween {
+                column: "delay".into(),
+                low: 0.0,
+                high: 12.0,
+            },
+            Predicate::And(vec![
+                Predicate::cat_eq("airline", "AA"),
+                Predicate::num_gt("dep_time", 1000.0),
+            ]),
+            Predicate::Or(vec![
+                Predicate::cat_eq("airline", "DL"),
+                Predicate::num_lt("delay", -1.0),
+                Predicate::num_gt("delay", 20.0),
+            ]),
+            Predicate::Not(Box::new(Predicate::cat_eq("airline", "UA"))),
+            Predicate::And(vec![
+                Predicate::Not(Box::new(Predicate::num_lt("delay", 0.0))),
+                Predicate::Or(vec![
+                    Predicate::cat_eq("airline", "UA"),
+                    Predicate::And(vec![
+                        Predicate::cat_eq("airline", "AA"),
+                        Predicate::num_gt("dep_time", 2000.0),
+                    ]),
+                ]),
+            ]),
+        ];
+        for (i, p) in predicates.iter().enumerate() {
+            let bound = p.bind(&t).unwrap();
+            // Whole table and a sub-range, to exercise non-zero block starts.
+            for rows in [0..5usize, 1..4] {
+                let expected: Vec<u32> = rows
+                    .clone()
+                    .filter(|&r| bound.matches(&t, r))
+                    .map(|r| r as u32)
+                    .collect();
+                let sel = bound.filter_block(&t, rows.clone());
+                assert_eq!(sel.rows(), expected, "predicate #{i} over {rows:?}");
+            }
+        }
+    }
+
+    /// The kernels must mirror scalar semantics — not panic — when a
+    /// predicate references a column that holds no rows (a zero-row
+    /// projection placeholder in a projected block): every row simply
+    /// fails to match, as the scalar per-row accessors return `None`.
+    #[test]
+    fn filter_block_treats_placeholder_columns_as_matching_nothing() {
+        let t = Table::with_placeholders(
+            vec![
+                Column::float("delay", vec![]),
+                Column::categorical::<&str>("airline", &[]),
+                Column::int("dep_time", vec![700, 1100, 1900]),
+            ],
+            3,
+        )
+        .unwrap();
+        let schema = Table::new(vec![
+            Column::float("delay", vec![0.0]),
+            Column::categorical("airline", &["UA"]),
+            Column::int("dep_time", vec![0]),
+        ])
+        .unwrap();
+        let live = Predicate::num_gt("dep_time", 1000.0).bind(&schema).unwrap();
+        assert_eq!(live.filter_block(&t, 0..3).rows(), &[1, 2]);
+        for p in [
+            Predicate::num_lt("delay", 10.0),
+            Predicate::cat_eq("airline", "UA"),
+            Predicate::And(vec![
+                Predicate::num_gt("dep_time", 0.0),
+                Predicate::num_lt("delay", 10.0),
+            ]),
+            Predicate::Not(Box::new(Predicate::num_lt("delay", 10.0))),
+        ] {
+            let bound = p.bind(&schema).unwrap();
+            let sel = bound.filter_block(&t, 0..3);
+            let expected: Vec<u32> = (0..3u32)
+                .filter(|&r| bound.matches(&t, r as usize))
+                .collect();
+            assert_eq!(sel.rows(), expected, "{p:?}");
+        }
+    }
+
+    #[test]
+    fn referenced_columns_cover_every_leaf_once() {
+        let t = table();
+        let p = Predicate::And(vec![
+            Predicate::num_gt("dep_time", 100.0),
+            Predicate::Or(vec![
+                Predicate::cat_eq("airline", "UA"),
+                Predicate::Not(Box::new(Predicate::num_gt("dep_time", 2000.0))),
+            ]),
+        ])
+        .bind(&t)
+        .unwrap();
+        assert_eq!(p.referenced_columns(), vec![2, 1]);
+        assert!(Predicate::True
+            .bind(&t)
+            .unwrap()
+            .referenced_columns()
+            .is_empty());
     }
 
     #[test]

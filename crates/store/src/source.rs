@@ -127,6 +127,38 @@ pub trait BlockSource: Sync {
     /// chunk-level corruption detected on decode.
     fn read_block(&self, block: BlockId) -> StoreResult<BlockRef<'_>>;
 
+    /// Reads one block, decoding only the given columns (projection
+    /// pushdown).
+    ///
+    /// `projection` lists the column indexes the caller will touch; `None`
+    /// means all of them. The returned block's table keeps every column at
+    /// its schema *position* — so indexes bound against
+    /// [`Self::schema`] stay valid — but columns outside the projection may
+    /// be zero-row placeholders. Callers must not read rows of
+    /// out-of-projection columns.
+    ///
+    /// The default implementation ignores the projection and delegates to
+    /// [`Self::read_block`], which is the right answer for in-memory
+    /// sources (their blocks are zero-copy views, so there is nothing to
+    /// skip); lazy sources override it to decode — and checksum — only the
+    /// chunks a query references (see
+    /// [`SegmentReader`](crate::persist::SegmentReader)). The flip side:
+    /// corruption confined to an out-of-projection chunk goes *undetected*
+    /// by a projected read that a full [`Self::read_block`] would have
+    /// failed on.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::read_block`].
+    fn read_block_projected(
+        &self,
+        block: BlockId,
+        projection: Option<&[usize]>,
+    ) -> StoreResult<BlockRef<'_>> {
+        let _ = projection;
+        self.read_block(block)
+    }
+
     /// Total number of blocks.
     fn num_blocks(&self) -> usize {
         self.layout().num_blocks()
@@ -151,7 +183,9 @@ pub trait BlockSource: Sync {
         let mut seen: std::collections::HashSet<Vec<u32>> = std::collections::HashSet::new();
         let mut out = Vec::new();
         for block in 0..self.num_blocks() {
-            let block_ref = self.read_block(BlockId(block))?;
+            // Only the group-by columns are read, so lazy sources decode
+            // just those chunks.
+            let block_ref = self.read_block_projected(BlockId(block), Some(columns))?;
             let table = block_ref.table();
             for row in block_ref.rows() {
                 let codes: Vec<u32> = columns

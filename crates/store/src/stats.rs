@@ -18,6 +18,12 @@ pub struct ScanStats {
     /// Rows that satisfied the query predicate (i.e. contributed to some
     /// aggregate view).
     pub rows_matched: u64,
+    /// Rows that survived the predicate filter, before group routing — the
+    /// total selection-vector length of the batch pipeline (the scalar path
+    /// counts the equivalent per-row predicate passes). Together with
+    /// `rows_scanned` (rows decoded out of fetched blocks) this exposes the
+    /// decoded-vs-selected funnel; `rows_selected >= rows_matched`.
+    pub rows_selected: u64,
     /// Bitmap-index membership checks performed.
     pub index_checks: u64,
     /// OptStop rounds (CI recomputations) performed.
@@ -49,6 +55,12 @@ impl ScanStats {
         self.rows_matched += rows;
     }
 
+    /// Records rows that survived the predicate filter.
+    #[inline]
+    pub fn record_selected(&mut self, rows: u64) {
+        self.rows_selected += rows;
+    }
+
     /// Records bitmap-index lookups.
     #[inline]
     pub fn record_index_checks(&mut self, checks: u64) {
@@ -67,6 +79,7 @@ impl ScanStats {
         self.blocks_skipped += other.blocks_skipped;
         self.rows_scanned += other.rows_scanned;
         self.rows_matched += other.rows_matched;
+        self.rows_selected += other.rows_selected;
         self.index_checks += other.index_checks;
         self.rounds += other.rounds;
     }

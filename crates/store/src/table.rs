@@ -215,6 +215,25 @@ impl Table {
         Ok(Self { columns, num_rows })
     }
 
+    /// Assembles a table whose row count is declared rather than derived
+    /// from the first column — the projected-block case, where columns
+    /// outside the projection are zero-row placeholders that keep their
+    /// schema *position* (so indexes bound against the schema stay valid)
+    /// without carrying data. Every column must either match `num_rows` or
+    /// be empty.
+    pub(crate) fn with_placeholders(columns: Vec<Column>, num_rows: usize) -> StoreResult<Self> {
+        for c in &columns {
+            if c.len() != num_rows && !c.is_empty() {
+                return Err(StoreError::LengthMismatch {
+                    name: c.name().to_string(),
+                    len: c.len(),
+                    expected: num_rows,
+                });
+            }
+        }
+        Ok(Self { columns, num_rows })
+    }
+
     /// Number of rows.
     pub fn num_rows(&self) -> usize {
         self.num_rows
